@@ -1,0 +1,103 @@
+// rlftnoc_report — renders a cached campaign (campaign_results.tsv) as a
+// Markdown report: one table per figure of the paper, normalized to the CRC
+// baseline, plus the raw per-run data.
+//
+//   rlftnoc_report [campaign_results.tsv] > report.md
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/results_io.h"
+
+using namespace rlftnoc;
+
+namespace {
+
+void markdown_table(const CampaignResults& res, const char* title,
+                    const MetricFn& metric, bool higher_is_better) {
+  std::printf("\n## %s\n\n", title);
+  std::printf("| benchmark |");
+  for (const PolicyKind p : res.policies) std::printf(" %s |", policy_name(p));
+  std::printf("\n|---|");
+  for (std::size_t i = 0; i < res.policies.size(); ++i) std::printf("---|");
+  std::printf("\n");
+
+  std::vector<double> geo(res.policies.size(), 0.0);
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < res.benchmarks.size(); ++b) {
+    const double base = metric(res.at(b, 0));
+    if (base <= 0.0) continue;
+    ++counted;
+    std::printf("| %s |", res.benchmarks[b].c_str());
+    for (std::size_t p = 0; p < res.policies.size(); ++p) {
+      const double norm = metric(res.at(b, p)) / base;
+      geo[p] += std::log(std::max(norm, 1e-12));
+      std::printf(" %.3f |", norm);
+    }
+    std::printf("\n");
+  }
+  std::printf("| **geomean** |");
+  for (std::size_t p = 0; p < res.policies.size(); ++p) {
+    std::printf(" **%.3f** |",
+                counted ? std::exp(geo[p] / static_cast<double>(counted)) : 0.0);
+  }
+  std::printf("\n");
+  std::printf("\n*(normalized to %s; %s is better)*\n",
+              policy_name(res.policies.front()),
+              higher_is_better ? "higher" : "lower");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "campaign_results.tsv";
+  CampaignResults res;
+  try {
+    res = read_results_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "rlftnoc_report: %s\nrun a figure bench first to produce the "
+                 "campaign cache\n",
+                 e.what());
+    return 2;
+  }
+
+  std::printf("# rlftnoc campaign report\n");
+  std::printf("\n%zu benchmarks x %zu policies (source: %s)\n",
+              res.benchmarks.size(), res.policies.size(), path.c_str());
+
+  markdown_table(res, "Fig. 6 — fault-caused retransmitted flits",
+                 [](const SimResult& r) {
+                   return static_cast<double>(r.retx_flits_e2e + r.retx_flits_hop);
+                 },
+                 false);
+  markdown_table(res, "Fig. 7 — execution time", metric_exec_speedup_inverse,
+                 false);
+  markdown_table(res, "Fig. 8 — average end-to-end latency", metric_latency,
+                 false);
+  markdown_table(res, "Fig. 9 — energy efficiency", metric_energy_efficiency,
+                 true);
+  markdown_table(res, "Fig. 10 — dynamic power", metric_dynamic_power, false);
+
+  std::printf("\n## Raw per-run data\n\n");
+  std::printf("| benchmark | policy | exec (cyc) | latency | fault retx | dup "
+              "| eff (flits/nJ) | dyn (W) | T avg/max | modes 0/1/2/3 |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|---|\n");
+  for (std::size_t b = 0; b < res.benchmarks.size(); ++b) {
+    for (std::size_t p = 0; p < res.policies.size(); ++p) {
+      const SimResult& r = res.at(b, p);
+      std::printf("| %s | %s | %llu | %.1f | %llu | %llu | %.2f | %.3f | "
+                  "%.0f/%.0f | %.2f/%.2f/%.2f/%.2f |\n",
+                  r.workload.c_str(), r.policy.c_str(),
+                  static_cast<unsigned long long>(r.execution_cycles),
+                  r.avg_packet_latency,
+                  static_cast<unsigned long long>(r.retx_flits_e2e + r.retx_flits_hop),
+                  static_cast<unsigned long long>(r.dup_flits),
+                  r.energy_efficiency, r.avg_dynamic_power_w, r.avg_temperature_c,
+                  r.max_temperature_c, r.mode_fraction[0], r.mode_fraction[1],
+                  r.mode_fraction[2], r.mode_fraction[3]);
+    }
+  }
+  return 0;
+}

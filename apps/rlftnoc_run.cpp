@@ -1,0 +1,151 @@
+// rlftnoc_run — config-file-driven simulation CLI.
+//
+// Usage:
+//   rlftnoc_run <config-file> [key=value overrides ...]
+//   rlftnoc_run --dump-defaults
+//
+// Config keys (all optional; defaults reproduce the paper's setup):
+//   policy        = crc | arq | dt | rl | oracle
+//   workload      = <parsec name> | uniform | transpose | hotspot | ...
+//   trace         = <path>           (overrides workload: replay a trace)
+//   seed          = 1
+//   injection_rate= 0.06             (synthetic workloads)
+//   packets       = 50000            (synthetic workloads)
+//   budget_pct    = 100              (PARSEC workloads)
+//   error_scale   = 1.0
+//   pretrain_cycles / warmup_cycles / step_cycles
+//   rl_save       = <path>           (persist learned Q-tables after the run)
+//   rl_load       = <path>           (start from previously saved Q-tables)
+//   noc.mesh_width / noc.mesh_height / noc.vcs_per_port / ... (see NocConfig)
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "ftnoc/rl_policy.h"
+#include "sim/options_io.h"
+#include "sim/simulator.h"
+#include "traffic/parsec.h"
+#include "traffic/trace.h"
+#include "traffic/traffic.h"
+
+using namespace rlftnoc;
+
+namespace {
+
+std::unique_ptr<TrafficGenerator> make_workload(const Config& cfg,
+                                                const SimOptions& opt) {
+  const MeshTopology topo(opt.noc);
+  if (cfg.contains("trace")) {
+    return std::make_unique<TraceTraffic>(
+        read_trace_file(cfg.get_string("trace")), opt.seed);
+  }
+  const std::string w = cfg.get_string("workload", "uniform");
+  for (const ParsecProfile& p : parsec_suite()) {
+    if (p.name == w) {
+      ParsecProfile prof = p;
+      prof.total_packets =
+          prof.total_packets *
+          static_cast<std::uint64_t>(cfg.get_int("budget_pct", 100)) / 100;
+      return std::make_unique<ParsecTraffic>(topo, prof, opt.seed);
+    }
+  }
+  SyntheticTraffic::Options o;
+  o.injection_rate = cfg.get_double("injection_rate", 0.06);
+  o.total_packets = static_cast<std::uint64_t>(cfg.get_int("packets", 50000));
+  bool found = false;
+  for (const TrafficPattern pat :
+       {TrafficPattern::kUniform, TrafficPattern::kTranspose,
+        TrafficPattern::kBitComplement, TrafficPattern::kTornado,
+        TrafficPattern::kNeighbor, TrafficPattern::kBitReverse,
+        TrafficPattern::kShuffle, TrafficPattern::kHotspot}) {
+    if (w == traffic_pattern_name(pat)) {
+      o.pattern = pat;
+      found = true;
+      break;
+    }
+  }
+  if (!found)
+    throw ConfigError("unknown workload '" + w +
+                      "' (a PARSEC profile or synthetic pattern name)");
+  return std::make_unique<SyntheticTraffic>(topo, o, opt.seed);
+}
+
+void print_result(const SimResult& r) {
+  std::printf("workload            %s\n", r.workload.c_str());
+  std::printf("policy              %s\n", r.policy.c_str());
+  std::printf("drained             %s\n", r.drained ? "yes" : "NO");
+  std::printf("execution cycles    %llu\n",
+              static_cast<unsigned long long>(r.execution_cycles));
+  std::printf("packets delivered   %llu / %llu injected\n",
+              static_cast<unsigned long long>(r.packets_delivered),
+              static_cast<unsigned long long>(r.packets_injected));
+  std::printf("avg e2e latency     %.2f cycles\n", r.avg_packet_latency);
+  std::printf("fault retx flits    %llu (e2e %llu, link %llu)\n",
+              static_cast<unsigned long long>(r.retx_flits_e2e + r.retx_flits_hop),
+              static_cast<unsigned long long>(r.retx_flits_e2e),
+              static_cast<unsigned long long>(r.retx_flits_hop));
+  std::printf("mode-2 duplicates   %llu\n",
+              static_cast<unsigned long long>(r.dup_flits));
+  std::printf("energy              %.2f uJ dynamic + %.2f uJ leakage\n",
+              r.dynamic_energy_pj * 1e-6, r.leakage_energy_pj * 1e-6);
+  std::printf("energy efficiency   %.3f flits/nJ\n", r.energy_efficiency);
+  std::printf("dynamic power       %.3f W\n", r.avg_dynamic_power_w);
+  std::printf("temperature         avg %.1f C, max %.1f C\n", r.avg_temperature_c,
+              r.max_temperature_c);
+  std::printf("mode residency      %.2f / %.2f / %.2f / %.2f\n", r.mode_fraction[0],
+              r.mode_fraction[1], r.mode_fraction[2], r.mode_fraction[3]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Config cfg;
+    int first_override = 1;
+    if (argc > 1 && std::string(argv[1]) == "--dump-defaults") {
+      std::printf(
+          "policy = rl\nworkload = canneal\nseed = 1\nbudget_pct = 100\n"
+          "error_scale = 1.0\n# pretrain_cycles = 500000\n# warmup_cycles = 50000\n"
+          "# noc.mesh_width = 8\n# noc.vcs_per_port = 4\n");
+      return 0;
+    }
+    if (argc > 1 && std::string(argv[1]).find('=') == std::string::npos) {
+      cfg = Config::from_file(argv[1]);
+      first_override = 2;
+    }
+    for (int i = first_override; i < argc; ++i) {
+      const std::string kv = argv[i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) throw ConfigError("override must be key=value: " + kv);
+      cfg.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+
+    SimOptions opt = sim_options_from_config(cfg);
+    if (!cfg.contains("policy")) opt.policy = PolicyKind::kRl;
+
+    // A pre-trained policy skips the synthetic pre-training phase.
+    if (cfg.contains("rl_load")) opt.pretrain_cycles = 0;
+
+    auto workload = make_workload(cfg, opt);
+    Simulator sim(opt);
+    if (cfg.contains("rl_load")) {
+      auto* rl = dynamic_cast<RlPolicy*>(&sim.policy());
+      if (rl == nullptr) throw ConfigError("rl_load requires policy = rl");
+      rl->load_tables(cfg.get_string("rl_load"));
+    }
+    const SimResult r = sim.run(*workload);
+    if (cfg.contains("rl_save")) {
+      if (auto* rl = dynamic_cast<RlPolicy*>(&sim.policy())) {
+        rl->save_tables(cfg.get_string("rl_save"));
+        std::fprintf(stderr, "saved Q-tables to %s\n",
+                     cfg.get_string("rl_save").c_str());
+      }
+    }
+    print_result(r);
+    return r.drained ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rlftnoc_run: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,100 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace rlftnoc::bench {
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--fresh") {
+      args.fresh = true;
+    } else if (a == "--full") {
+      args.full = true;
+      args.scale_pct = 100;
+    } else if (a.rfind("--scale=", 0) == 0) {
+      args.scale_pct = std::strtoull(a.c_str() + 8, nullptr, 10);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--cache=", 0) == 0) {
+      args.cache = a.substr(8);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --fresh --full --scale=N "
+                   "--seed=N --cache=PATH)\n",
+                   a.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+const std::vector<PolicyKind>& paper_policies() {
+  static const std::vector<PolicyKind> kPolicies = {
+      PolicyKind::kStaticCrc, PolicyKind::kStaticArqEcc,
+      PolicyKind::kDecisionTree, PolicyKind::kRl};
+  return kPolicies;
+}
+
+std::vector<std::string> paper_benchmarks() {
+  std::vector<std::string> out;
+  for (const ParsecProfile& p : parsec_suite()) out.push_back(p.name);
+  return out;
+}
+
+CampaignResults load_or_run_campaign(const BenchArgs& args) {
+  if (!args.fresh) {
+    try {
+      CampaignResults cached = read_results_file(args.cache);
+      std::fprintf(stderr, "[bench] reusing cached campaign '%s'\n",
+                   args.cache.c_str());
+      return cached;
+    } catch (const std::exception&) {
+      // No usable cache; fall through to a fresh run.
+    }
+  }
+  SimOptions base;
+  base.seed = args.seed;
+  if (args.full) base.use_paper_scale();
+  std::fprintf(stderr,
+               "[bench] running campaign: 8 benchmarks x %zu policies, "
+               "budget %llu%% (this is the slow part; later figure benches "
+               "reuse '%s')\n",
+               paper_policies().size(),
+               static_cast<unsigned long long>(args.scale_pct),
+               args.cache.c_str());
+  CampaignResults res = run_campaign(base, paper_benchmarks(), paper_policies(),
+                                     args.scale_pct);
+  write_results_file(args.cache, res);
+  return res;
+}
+
+double normalized_geomean(const CampaignResults& campaign, const MetricFn& metric,
+                          std::size_t policy_column) {
+  double log_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < campaign.benchmarks.size(); ++b) {
+    const double base = metric(campaign.at(b, 0));
+    const double val = metric(campaign.at(b, policy_column));
+    if (base <= 0.0 || val <= 0.0) continue;
+    log_sum += std::log(val / base);
+    ++counted;
+  }
+  return counted ? std::exp(log_sum / static_cast<double>(counted)) : 0.0;
+}
+
+double metric_fault_retransmissions(const SimResult& r) {
+  return static_cast<double>(r.retx_flits_e2e + r.retx_flits_hop);
+}
+
+void print_paper_vs_measured(const char* what, double paper_value,
+                             double measured_value) {
+  std::printf("paper-vs-measured  %-34s paper=%6.2f  measured=%6.2f\n", what,
+              paper_value, measured_value);
+}
+
+}  // namespace rlftnoc::bench

@@ -1,0 +1,42 @@
+// E5 / Fig. 10 — "Dynamic power consumption, normalized to CRC baseline".
+// Lower is better: dynamic power tracks traffic volume, so eliminating
+// retransmission traffic shows up here. The paper reports RL at 0.54 of the
+// CRC baseline (46% reduction) and 17% below DT.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace rlftnoc;
+using namespace rlftnoc::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const CampaignResults campaign = load_or_run_campaign(args);
+
+  std::printf("== Fig. 10: dynamic power consumption ==\n");
+  print_normalized_table(std::cout, campaign, "dynamic power",
+                         metric_dynamic_power, /*higher_is_better=*/false);
+
+  std::printf("\nabsolute network dynamic power (W):\n%-14s", "benchmark");
+  for (const PolicyKind p : campaign.policies) std::printf("%10s", policy_name(p));
+  std::printf("\n");
+  for (std::size_t b = 0; b < campaign.benchmarks.size(); ++b) {
+    std::printf("%-14s", campaign.benchmarks[b].c_str());
+    for (std::size_t p = 0; p < campaign.policies.size(); ++p)
+      std::printf("%10.3f", campaign.at(b, p).avg_dynamic_power_w);
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  for (std::size_t p = 1; p < campaign.policies.size(); ++p) {
+    const double g = normalized_geomean(campaign, metric_dynamic_power, p);
+    const double paper = campaign.policies[p] == PolicyKind::kStaticArqEcc ? 0.75
+                         : campaign.policies[p] == PolicyKind::kRl         ? 0.54
+                                                                           : 0.65;
+    std::string label = std::string("Fig10 ") + policy_name(campaign.policies[p]) +
+                        " dyn power (norm. to CRC)";
+    print_paper_vs_measured(label.c_str(), paper, g);
+  }
+  return 0;
+}

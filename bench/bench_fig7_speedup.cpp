@@ -1,0 +1,46 @@
+// E2 / Fig. 7 — "Speed-up of execution time, normalized to CRC baseline".
+// Execution time is the cycles from the start of the testing phase to the
+// last successful delivery of the benchmark's packet budget. The paper
+// reports an average 1.25x speed-up for RL over CRC.
+//
+// Known reproduction caveat (EXPERIMENTS.md): our traces are replayed
+// open-loop, so arrival times are fixed and execution-time differences come
+// only from queueing/drain tails — this compresses speed-ups relative to
+// the paper's trace framework.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace rlftnoc;
+using namespace rlftnoc::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const CampaignResults campaign = load_or_run_campaign(args);
+
+  std::printf("== Fig. 7: execution-time speed-up over CRC ==\n");
+  std::printf("%-14s", "benchmark");
+  for (const PolicyKind p : campaign.policies) std::printf("%10s", policy_name(p));
+  std::printf("\n");
+  for (std::size_t b = 0; b < campaign.benchmarks.size(); ++b) {
+    const double base = static_cast<double>(campaign.at(b, 0).execution_cycles);
+    std::printf("%-14s", campaign.benchmarks[b].c_str());
+    for (std::size_t p = 0; p < campaign.policies.size(); ++p) {
+      const double cyc = static_cast<double>(campaign.at(b, p).execution_cycles);
+      std::printf("%10.3f", cyc > 0.0 ? base / cyc : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  for (std::size_t p = 1; p < campaign.policies.size(); ++p) {
+    // Speed-up = 1 / normalized execution time.
+    const double g =
+        1.0 / normalized_geomean(campaign, metric_exec_speedup_inverse, p);
+    const double paper = campaign.policies[p] == PolicyKind::kRl ? 1.25 : 1.15;
+    std::string label = std::string("Fig7 ") + policy_name(campaign.policies[p]) +
+                        " speed-up vs CRC";
+    print_paper_vs_measured(label.c_str(), paper, g);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E3 / Fig. 8 — "Average end-to-end latency, normalized to CRC baseline".
+// The paper reports ARQ+ECC at 0.70, DT at ~0.50 and RL at 0.45 of the CRC
+// baseline (55% reduction for RL; 10% better than DT).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace rlftnoc;
+using namespace rlftnoc::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const CampaignResults campaign = load_or_run_campaign(args);
+
+  std::printf("== Fig. 8: average end-to-end packet latency ==\n");
+  print_normalized_table(std::cout, campaign, "avg end-to-end latency",
+                         metric_latency, /*higher_is_better=*/false);
+
+  std::printf("\nabsolute latencies (cycles):\n%-14s", "benchmark");
+  for (const PolicyKind p : campaign.policies) std::printf("%10s", policy_name(p));
+  std::printf("\n");
+  for (std::size_t b = 0; b < campaign.benchmarks.size(); ++b) {
+    std::printf("%-14s", campaign.benchmarks[b].c_str());
+    for (std::size_t p = 0; p < campaign.policies.size(); ++p)
+      std::printf("%10.1f", campaign.at(b, p).avg_packet_latency);
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  for (std::size_t p = 1; p < campaign.policies.size(); ++p) {
+    const double g = normalized_geomean(campaign, metric_latency, p);
+    const double paper = campaign.policies[p] == PolicyKind::kStaticArqEcc ? 0.70
+                         : campaign.policies[p] == PolicyKind::kRl         ? 0.45
+                                                                           : 0.50;
+    std::string label = std::string("Fig8 ") + policy_name(campaign.policies[p]) +
+                        " latency (norm. to CRC)";
+    print_paper_vs_measured(label.c_str(), paper, g);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E4 / Fig. 9 — "Energy efficiency (flits/energy), normalized to CRC
+// baseline". Higher is better. The paper reports RL at 1.64x the CRC
+// baseline (64% improvement) and ~15% above DT.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace rlftnoc;
+using namespace rlftnoc::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const CampaignResults campaign = load_or_run_campaign(args);
+
+  std::printf("== Fig. 9: energy efficiency (delivered flits per energy) ==\n");
+  print_normalized_table(std::cout, campaign, "energy efficiency",
+                         metric_energy_efficiency, /*higher_is_better=*/true);
+
+  std::printf("\nabsolute efficiency (flits/nJ) and energy split (uJ):\n%-14s",
+              "benchmark");
+  for (const PolicyKind p : campaign.policies) std::printf("%18s", policy_name(p));
+  std::printf("\n");
+  for (std::size_t b = 0; b < campaign.benchmarks.size(); ++b) {
+    std::printf("%-14s", campaign.benchmarks[b].c_str());
+    for (std::size_t p = 0; p < campaign.policies.size(); ++p) {
+      const SimResult& r = campaign.at(b, p);
+      std::printf("  %5.2f (%4.1f+%4.1f)", r.energy_efficiency,
+                  r.dynamic_energy_pj * 1e-6, r.leakage_energy_pj * 1e-6);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  for (std::size_t p = 1; p < campaign.policies.size(); ++p) {
+    const double g = normalized_geomean(campaign, metric_energy_efficiency, p);
+    const double paper = campaign.policies[p] == PolicyKind::kStaticArqEcc ? 1.25
+                         : campaign.policies[p] == PolicyKind::kRl         ? 1.64
+                                                                           : 1.49;
+    std::string label = std::string("Fig9 ") + policy_name(campaign.policies[p]) +
+                        " efficiency (norm. to CRC)";
+    print_paper_vs_measured(label.c_str(), paper, g);
+  }
+  return 0;
+}

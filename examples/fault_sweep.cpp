@@ -1,0 +1,58 @@
+// Fault-sweep example: scale the timing-error probability globally
+// (simulating harsher process/thermal corners than the nominal calibration)
+// and watch each policy's latency and retransmission traffic respond. This
+// is where the higher operation modes earn their keep.
+//
+//   ./fault_sweep [benchmark]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "traffic/parsec.h"
+
+using namespace rlftnoc;
+
+int main(int argc, char** argv) {
+  const std::string bench = argc > 1 ? argv[1] : "bodytrack";
+  const std::vector<double> scales = {0.25, 1.0, 4.0, 10.0};
+  const std::vector<PolicyKind> policies = {
+      PolicyKind::kStaticCrc, PolicyKind::kStaticArqEcc, PolicyKind::kOracle,
+      PolicyKind::kRl};
+
+  std::printf("fault sweep on '%s' (error_scale multiplies the VARIUS "
+              "probability on every link)\n\n",
+              bench.c_str());
+  std::printf("%-8s", "scale");
+  for (const PolicyKind p : policies) std::printf("%22s", policy_name(p));
+  std::printf("\n%-8s", "");
+  for (std::size_t i = 0; i < policies.size(); ++i) std::printf("%22s", "lat / faultRetx");
+  std::printf("\n");
+
+  for (const double scale : scales) {
+    std::printf("%-8.2f", scale);
+    for (const PolicyKind pol : policies) {
+      SimOptions opt;
+      opt.policy = pol;
+      opt.seed = 3;
+      opt.error_scale = scale;
+      opt.pretrain_cycles = 250000;
+      Simulator sim(opt);
+      ParsecProfile prof = parsec_profile(bench);
+      prof.total_packets /= 3;
+      ParsecTraffic gen(MeshTopology(opt.noc), prof, opt.seed);
+      const SimResult r = sim.run(gen);
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "%.0f / %llu%s", r.avg_packet_latency,
+                    static_cast<unsigned long long>(r.retx_flits_e2e +
+                                                    r.retx_flits_hop),
+                    r.drained ? "" : "*");
+      std::printf("%22s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(* = run hit the cycle guard before draining)\n");
+  std::printf("expected shape: CRC degrades steeply with scale; the adaptive "
+              "policies escalate modes and stay close to the best static.\n");
+  return 0;
+}

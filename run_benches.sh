@@ -1,0 +1,21 @@
+#!/bin/sh
+# Runs every bench binary in dependency-friendly order (the campaign cache
+# is produced by the first figure bench and reused by the rest).
+set -e
+cd "$(dirname "$0")"
+for b in \
+  build/bench/bench_table2_config \
+  build/bench/bench_overheads \
+  build/bench/bench_fig6_retransmission \
+  build/bench/bench_fig7_speedup \
+  build/bench/bench_fig8_latency \
+  build/bench/bench_fig9_energy_efficiency \
+  build/bench/bench_fig10_dynamic_power \
+  build/bench/bench_ablation_modes \
+  build/bench/bench_ablation_rl \
+  build/bench/bench_latency_throughput \
+  build/bench/bench_mode_map \
+  build/bench/bench_microperf; do
+  echo "===== $b ====="
+  "$b" "$@"
+done

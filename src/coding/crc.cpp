@@ -1,0 +1,10 @@
+#include "coding/crc.h"
+
+namespace rlftnoc {
+
+const Crc32& default_crc32() noexcept {
+  static const Crc32 instance;
+  return instance;
+}
+
+}  // namespace rlftnoc

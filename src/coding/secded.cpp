@@ -1,0 +1,125 @@
+#include "coding/secded.h"
+
+#include <bit>
+
+namespace rlftnoc {
+namespace {
+
+constexpr bool is_power_of_two(unsigned x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr int parity64(std::uint64_t x) noexcept { return std::popcount(x) & 1; }
+
+}  // namespace
+
+Secded7264::Secded7264() noexcept {
+  pos_to_data_.fill(0xFF);
+  // Data bits occupy the non-power-of-two codeword positions 3,5,6,7,9,...
+  // Positions 1..71 give exactly 64 non-power-of-two slots for 64 data bits.
+  int d = 0;
+  for (unsigned pos = 1; pos < 72 && d < 64; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    data_pos_[d] = static_cast<std::uint8_t>(pos);
+    pos_to_data_[pos] = static_cast<std::uint8_t>(d);
+    ++d;
+  }
+  // Check bit i (at codeword position 2^i) covers every position whose index
+  // has bit i set; project that coverage onto the data-bit masks.
+  for (int i = 0; i < 7; ++i) {
+    std::uint64_t mask = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      if (data_pos_[bit] & (1u << i)) mask |= 1ULL << bit;
+    }
+    parity_mask_[i] = mask;
+  }
+}
+
+SecdedWord Secded7264::encode(std::uint64_t data) const noexcept {
+  std::uint8_t check = 0;
+  for (int i = 0; i < 7; ++i) {
+    if (parity64(data & parity_mask_[i])) check |= static_cast<std::uint8_t>(1u << i);
+  }
+  // Overall parity (check bit 7) makes the full 72-bit codeword even-parity.
+  const int overall = parity64(data) ^ (std::popcount(static_cast<unsigned>(check)) & 1);
+  if (overall) check |= 0x80u;
+  return SecdedWord{data, check};
+}
+
+SecdedDecode Secded7264::decode(std::uint64_t data, std::uint8_t check) const noexcept {
+  std::uint8_t syndrome = 0;
+  for (int i = 0; i < 7; ++i) {
+    const int computed = parity64(data & parity_mask_[i]);
+    const int received = (check >> i) & 1;
+    if (computed != received) syndrome |= static_cast<std::uint8_t>(1u << i);
+  }
+  const int overall =
+      parity64(data) ^ (std::popcount(static_cast<unsigned>(check)) & 1);
+
+  SecdedDecode out;
+  out.syndrome = syndrome;
+  out.data = data;
+  out.check = check;
+
+  if (syndrome == 0 && overall == 0) {
+    out.status = SecdedStatus::kClean;
+    return out;
+  }
+  if (overall == 0) {
+    // Nonzero syndrome with even overall parity: an even number (>= 2) of
+    // bits flipped. Detected, not correctable.
+    out.status = SecdedStatus::kUncorrectable;
+    return out;
+  }
+  // Odd overall parity: odd number of flips; assume one and correct it.
+  out.status = SecdedStatus::kCorrected;
+  if (syndrome == 0) {
+    // The overall parity bit itself flipped.
+    out.check = check ^ 0x80u;
+    return out;
+  }
+  if (syndrome >= 72) {
+    // Syndrome points outside the codeword: an odd (>= 3) multi-bit pattern
+    // whose alias is invalid. Real decoders flag this; so do we.
+    out.status = SecdedStatus::kUncorrectable;
+    return out;
+  }
+  if (is_power_of_two(syndrome)) {
+    // A Hamming check bit flipped.
+    const int i = std::countr_zero(static_cast<unsigned>(syndrome));
+    out.check = check ^ static_cast<std::uint8_t>(1u << i);
+    return out;
+  }
+  const std::uint8_t data_bit = pos_to_data_[syndrome];
+  out.data = data ^ (1ULL << data_bit);
+  return out;
+}
+
+FlitEcc encode_flit_ecc(const Secded7264& codec, const BitVec128& payload) noexcept {
+  return FlitEcc{codec.encode(payload.word(0)).check, codec.encode(payload.word(1)).check};
+}
+
+FlitEccDecode decode_flit_ecc(const Secded7264& codec, const BitVec128& payload,
+                              FlitEcc ecc) noexcept {
+  const SecdedDecode d0 = codec.decode(payload.word(0), ecc.check0);
+  const SecdedDecode d1 = codec.decode(payload.word(1), ecc.check1);
+
+  FlitEccDecode out;
+  out.payload = BitVec128(d0.data, d1.data);
+  out.ecc = FlitEcc{d0.check, d1.check};
+  out.word0_corrected = d0.status == SecdedStatus::kCorrected;
+  out.word1_corrected = d1.status == SecdedStatus::kCorrected;
+  if (d0.status == SecdedStatus::kUncorrectable || d1.status == SecdedStatus::kUncorrectable) {
+    out.status = SecdedStatus::kUncorrectable;
+  } else if (out.word0_corrected || out.word1_corrected) {
+    out.status = SecdedStatus::kCorrected;
+  } else {
+    out.status = SecdedStatus::kClean;
+  }
+  return out;
+}
+
+const Secded7264& default_secded() noexcept {
+  static const Secded7264 instance;
+  return instance;
+}
+
+}  // namespace rlftnoc

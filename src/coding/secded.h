@@ -1,0 +1,109 @@
+// Hamming(72,64) extended code: Single-Error-Correct, Double-Error-Detect.
+//
+// This is the ECC used by the per-hop ARQ+ECC links of Fig. 1(c): each
+// 64-bit payload word is protected by 8 check bits (7 Hamming parity bits at
+// codeword positions 1,2,4,...,64 plus one overall parity bit). Per flit
+// (128 data bits) the link layer protects the two words independently, so a
+// flit carries 16 ECC check bits — matching the SECDED granularity typical
+// of NoC link ECC.
+//
+// Decoding emits one of three outcomes:
+//   kClean          - syndrome 0, overall parity even: no error.
+//   kCorrected      - odd parity: single-bit error located and flipped back
+//                     (also covers an error in a check bit).
+//   kUncorrectable  - even parity but nonzero syndrome: even number (>=2) of
+//                     bit errors detected; the receiver must NACK.
+// Triple-bit errors alias to kCorrected with a *wrong* correction with the
+// code's true probability — the simulator lets that happen and the CRC layer
+// or protocol-level effects catch (or miss!) it, as in real hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitvec.h"
+
+namespace rlftnoc {
+
+/// Result status of a SECDED decode.
+enum class SecdedStatus : std::uint8_t {
+  kClean = 0,
+  kCorrected = 1,
+  kUncorrectable = 2,
+};
+
+/// One protected 64-bit word: data plus its 8 check bits.
+struct SecdedWord {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+
+  friend constexpr bool operator==(const SecdedWord&, const SecdedWord&) = default;
+};
+
+/// Decode outcome for one word.
+struct SecdedDecode {
+  SecdedStatus status = SecdedStatus::kClean;
+  std::uint64_t data = 0;     ///< corrected data (valid unless kUncorrectable)
+  std::uint8_t check = 0;     ///< corrected check bits
+  std::uint8_t syndrome = 0;  ///< raw 7-bit Hamming syndrome (diagnostics)
+};
+
+/// Hamming(72,64) SECDED encoder/decoder.
+///
+/// Stateless; all methods are const and cheap (a handful of popcounts), so a
+/// single instance is shared across all links.
+class Secded7264 {
+ public:
+  Secded7264() noexcept;
+
+  /// Computes the 8 check bits for `data`.
+  SecdedWord encode(std::uint64_t data) const noexcept;
+
+  /// Decodes a (possibly corrupted) word+check pair.
+  SecdedDecode decode(std::uint64_t data, std::uint8_t check) const noexcept;
+
+  /// Number of check bits per protected word.
+  static constexpr int kCheckBits = 8;
+  /// Data bits per protected word.
+  static constexpr int kDataBits = 64;
+
+ private:
+  /// parity_mask_[i] selects the data bits covered by Hamming check bit i
+  /// (i in [0,7), check bit at codeword position 2^i).
+  std::array<std::uint64_t, 7> parity_mask_ = {};
+  /// Codeword position (1..71) of data bit d, d in [0,64).
+  std::array<std::uint8_t, 64> data_pos_ = {};
+  /// Inverse map: codeword position -> data bit index, or 0xFF for check bits.
+  std::array<std::uint8_t, 72> pos_to_data_ = {};
+};
+
+/// ECC protection for a whole 128-bit flit payload: two independent
+/// Hamming(72,64) codewords.
+struct FlitEcc {
+  std::uint8_t check0 = 0;  ///< check bits of payload word 0
+  std::uint8_t check1 = 0;  ///< check bits of payload word 1
+
+  friend constexpr bool operator==(const FlitEcc&, const FlitEcc&) = default;
+};
+
+/// Outcome of decoding both halves of a flit.
+struct FlitEccDecode {
+  /// Worst status across the two words (kUncorrectable dominates).
+  SecdedStatus status = SecdedStatus::kClean;
+  BitVec128 payload;  ///< corrected payload (valid unless kUncorrectable)
+  FlitEcc ecc;        ///< corrected check bits
+  bool word0_corrected = false;
+  bool word1_corrected = false;
+};
+
+/// Encodes a flit payload into its 16 check bits.
+FlitEcc encode_flit_ecc(const Secded7264& codec, const BitVec128& payload) noexcept;
+
+/// Decodes / corrects a flit payload against its check bits.
+FlitEccDecode decode_flit_ecc(const Secded7264& codec, const BitVec128& payload,
+                              FlitEcc ecc) noexcept;
+
+/// Process-wide shared codec instance.
+const Secded7264& default_secded() noexcept;
+
+}  // namespace rlftnoc

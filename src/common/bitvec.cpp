@@ -1,0 +1,25 @@
+#include "common/bitvec.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace rlftnoc {
+
+int BitVec128::popcount() const noexcept {
+  return std::popcount(words_[0]) + std::popcount(words_[1]);
+}
+
+int BitVec128::hamming_distance(const BitVec128& other) const noexcept {
+  return std::popcount(words_[0] ^ other.words_[0]) +
+         std::popcount(words_[1] ^ other.words_[1]);
+}
+
+std::string BitVec128::to_hex() const {
+  char buf[2 + 32 + 1];
+  std::snprintf(buf, sizeof buf, "0x%016llx%016llx",
+                static_cast<unsigned long long>(words_[1]),
+                static_cast<unsigned long long>(words_[0]));
+  return buf;
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,71 @@
+// Fixed-capacity bit vector used as flit payload.
+//
+// Flits carry 128 data bits (Table II). Fault injection flips real bits in
+// this container and the CRC / SECDED codecs in src/coding run over its
+// words, so error detection and (mis)correction emerge from the actual codes
+// rather than from protocol-level coin flips.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace rlftnoc {
+
+/// A fixed 128-bit payload with bit-level access and word-level views.
+class BitVec128 {
+ public:
+  static constexpr std::size_t kBits = 128;
+  static constexpr std::size_t kWords = 2;
+
+  constexpr BitVec128() = default;
+
+  /// Constructs from two 64-bit words (word 0 holds bits [0, 64)).
+  constexpr BitVec128(std::uint64_t w0, std::uint64_t w1) : words_{w0, w1} {}
+
+  /// Reads bit `i` (0-based, i < 128).
+  constexpr bool bit(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Sets bit `i` to `v`.
+  constexpr void set_bit(std::size_t i, bool v) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Flips bit `i` (models a transient fault on the wire).
+  constexpr void flip_bit(std::size_t i) noexcept { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  /// Word accessors (word 0 = bits [0,64), word 1 = bits [64,128)).
+  constexpr std::uint64_t word(std::size_t w) const noexcept { return words_[w]; }
+  constexpr void set_word(std::size_t w, std::uint64_t v) noexcept { words_[w] = v; }
+
+  /// Number of set bits.
+  int popcount() const noexcept;
+
+  /// Hamming distance to another payload.
+  int hamming_distance(const BitVec128& other) const noexcept;
+
+  /// XORs another payload into this one.
+  constexpr BitVec128& operator^=(const BitVec128& o) noexcept {
+    words_[0] ^= o.words_[0];
+    words_[1] ^= o.words_[1];
+    return *this;
+  }
+
+  friend constexpr bool operator==(const BitVec128&, const BitVec128&) = default;
+
+  /// Hex string "0x<w1><w0>" for logs.
+  std::string to_hex() const;
+
+ private:
+  std::array<std::uint64_t, kWords> words_ = {0, 0};
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,67 @@
+// Minimal typed key=value configuration store.
+//
+// Experiments are described as flat `key = value` text (BookSim style):
+// comments start with '#' or '//', values are bool / int / double / string.
+// Typed getters throw ConfigError on missing keys or unparsable values so a
+// typo in an experiment file fails loudly instead of silently defaulting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlftnoc {
+
+/// Thrown on missing keys or malformed values.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Flat string->string map with typed accessors and defaults.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines from text. Later keys override earlier ones.
+  static Config from_string(std::string_view text);
+
+  /// Parses a file; throws ConfigError when the file cannot be read.
+  static Config from_file(const std::string& path);
+
+  /// Sets / overrides one entry.
+  void set(std::string key, std::string value);
+
+  bool contains(const std::string& key) const noexcept;
+
+  /// Typed getters that throw when the key is absent.
+  std::string get_string(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Typed getters with a default for absent keys (malformed still throws).
+  std::string get_string(const std::string& key, std::string def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// All keys in sorted order (for dumping the effective config).
+  std::vector<std::string> keys() const;
+
+  /// Renders the whole config back to `key = value` lines.
+  std::string to_string() const;
+
+  /// Merges `other` into this config; other's entries win.
+  void merge(const Config& other);
+
+ private:
+  const std::string& raw(const std::string& key) const;
+
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,45 @@
+// Tiny leveled logger.
+//
+// The simulator is quiet by default; tests and debugging sessions raise the
+// level. Logging goes through a single global sink so output interleaves
+// sanely, and the macros avoid formatting cost when the level is filtered.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rlftnoc {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global log threshold; messages above it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line to stderr with a level prefix (thread-compatible: the
+/// simulator is single-threaded; benches run policies sequentially).
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace rlftnoc
+
+#define RLFTNOC_LOG(level, expr)                                  \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::rlftnoc::log_level())) {               \
+      std::ostringstream rlftnoc_log_os;                          \
+      rlftnoc_log_os << expr;                                     \
+      ::rlftnoc::log_line(level, rlftnoc_log_os.str());           \
+    }                                                             \
+  } while (0)
+
+#define LOG_ERROR(expr) RLFTNOC_LOG(::rlftnoc::LogLevel::kError, expr)
+#define LOG_WARN(expr) RLFTNOC_LOG(::rlftnoc::LogLevel::kWarn, expr)
+#define LOG_INFO(expr) RLFTNOC_LOG(::rlftnoc::LogLevel::kInfo, expr)
+#define LOG_DEBUG(expr) RLFTNOC_LOG(::rlftnoc::LogLevel::kDebug, expr)
+#define LOG_TRACE(expr) RLFTNOC_LOG(::rlftnoc::LogLevel::kTrace, expr)

@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator (traffic injection, fault
+// injection, RL exploration) owns its own `Rng` stream derived from the
+// experiment seed plus a component tag, so results are bit-reproducible and
+// adding a consumer never perturbs the draws seen by another.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rlftnoc {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+///
+/// Small, fast, and statistically strong enough for simulation workloads;
+/// std::mt19937_64 would also do but is 20x the state for no benefit here.
+class Rng {
+ public:
+  /// Seeds the stream from a 64-bit seed (expanded with splitmix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Derives an independent stream from `seed` and a component `tag`.
+  Rng(std::uint64_t seed, std::string_view tag) noexcept;
+
+  /// Re-seeds in place.
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; simplicity wins here).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Geometric number of failures before first success, success prob `p`.
+  std::uint64_t geometric(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+/// FNV-1a 64-bit hash of a string, used to derive per-component RNG streams.
+std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+}  // namespace rlftnoc

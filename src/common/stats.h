@@ -1,0 +1,117 @@
+// Statistics primitives used by the metric-collection layer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rlftnoc {
+
+/// Streaming accumulator: count / sum / mean / variance / min / max in O(1)
+/// memory using Welford's algorithm.
+class StatAccumulator {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void reset() noexcept { *this = StatAccumulator{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const StatAccumulator& o) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponential moving average with configurable smoothing factor.
+///
+/// Used for the runtime NoC attributes (link utilization, NACK rate) that
+/// feed the RL state: the paper samples them per time-step window, and an
+/// EMA keeps them smooth without storing history.
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.25) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    primed_ = true;
+  }
+
+  double value() const noexcept { return primed_ ? value_ : 0.0; }
+  bool primed() const noexcept { return primed_; }
+  void reset() noexcept { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, linear within bucket.
+  double quantile(double q) const noexcept;
+
+  /// Lower edge of bucket `i`.
+  double bucket_lo(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Named counters, cheap to bump and easy to dump in one table.
+class CounterSet {
+ public:
+  void bump(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const noexcept { return counters_; }
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,169 @@
+#include "dt/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rlftnoc {
+namespace {
+
+/// Gini impurity of a class histogram with `total` samples.
+double gini(const std::vector<int>& hist, int total) noexcept {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const int c : hist) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::train(const std::vector<DtSample>& samples, int num_classes,
+                         DtParams params) {
+  if (samples.empty()) throw std::invalid_argument("DecisionTree: no samples");
+  if (num_classes < 2) throw std::invalid_argument("DecisionTree: need >= 2 classes");
+  num_classes_ = num_classes;
+  num_features_ = static_cast<int>(samples.front().features.size());
+  for (const DtSample& s : samples) {
+    if (static_cast<int>(s.features.size()) != num_features_)
+      throw std::invalid_argument("DecisionTree: ragged feature vectors");
+    if (s.label < 0 || s.label >= num_classes)
+      throw std::invalid_argument("DecisionTree: label out of range");
+  }
+
+  nodes_.clear();
+  std::vector<int> indices(samples.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(indices, 0, static_cast<int>(indices.size()), samples, 0, params);
+}
+
+int DecisionTree::build(std::vector<int>& indices, int begin, int end,
+                        const std::vector<DtSample>& samples, int depth,
+                        const DtParams& params) {
+  const int n = end - begin;
+  std::vector<int> hist(static_cast<std::size_t>(num_classes_), 0);
+  for (int i = begin; i < end; ++i)
+    ++hist[static_cast<std::size_t>(samples[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])].label)];
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    const auto it = std::max_element(hist.begin(), hist.end());
+    node.majority = static_cast<int>(it - hist.begin());
+    node.class_frac.resize(static_cast<std::size_t>(num_classes_));
+    for (int c = 0; c < num_classes_; ++c)
+      node.class_frac[static_cast<std::size_t>(c)] =
+          static_cast<double>(hist[static_cast<std::size_t>(c)]) / n;
+  }
+
+  const double parent_impurity = gini(hist, n);
+  const bool pure = parent_impurity <= 0.0;
+  if (pure || depth >= params.max_depth || n < 2 * params.min_samples_leaf)
+    return node_id;
+
+  // Exhaustive best-split search: for each feature, sort the slice by that
+  // feature and sweep candidate thresholds between distinct values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = parent_impurity - params.min_impurity_decrease;
+
+  std::vector<int> slice(indices.begin() + begin, indices.begin() + end);
+  for (int f = 0; f < num_features_; ++f) {
+    std::sort(slice.begin(), slice.end(), [&](int a, int b) {
+      return samples[static_cast<std::size_t>(a)].features[static_cast<std::size_t>(f)] <
+             samples[static_cast<std::size_t>(b)].features[static_cast<std::size_t>(f)];
+    });
+    std::vector<int> left_hist(static_cast<std::size_t>(num_classes_), 0);
+    std::vector<int> right_hist = hist;
+    for (int i = 0; i + 1 < n; ++i) {
+      const DtSample& cur = samples[static_cast<std::size_t>(slice[static_cast<std::size_t>(i)])];
+      ++left_hist[static_cast<std::size_t>(cur.label)];
+      --right_hist[static_cast<std::size_t>(cur.label)];
+      const double x0 = cur.features[static_cast<std::size_t>(f)];
+      const double x1 =
+          samples[static_cast<std::size_t>(slice[static_cast<std::size_t>(i + 1)])]
+              .features[static_cast<std::size_t>(f)];
+      if (x1 <= x0) continue;  // no boundary between equal values
+      const int nl = i + 1;
+      const int nr = n - nl;
+      if (nl < params.min_samples_leaf || nr < params.min_samples_leaf) continue;
+      const double weighted = (nl * gini(left_hist, nl) + nr * gini(right_hist, nr)) / n;
+      if (weighted < best_score) {
+        best_score = weighted;
+        best_feature = f;
+        best_threshold = 0.5 * (x0 + x1);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition the index range around the chosen threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](int idx) {
+        return samples[static_cast<std::size_t>(idx)]
+                   .features[static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  const int left = build(indices, begin, mid, samples, depth + 1, params);
+  const int right = build(indices, mid, end, samples, depth + 1, params);
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+int DecisionTree::leaf_for(std::span<const double> features) const {
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    cur = features[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                             : node.right;
+  }
+  return cur;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) return 0;
+  return nodes_[static_cast<std::size_t>(leaf_for(features))].majority;
+}
+
+std::vector<double> DecisionTree::predict_proba(std::span<const double> features) const {
+  if (nodes_.empty()) return {};
+  return nodes_[static_cast<std::size_t>(leaf_for(features))].class_frac;
+}
+
+int DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the explicit node array.
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (node.feature >= 0) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+double DecisionTree::accuracy(const std::vector<DtSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  int correct = 0;
+  for (const DtSample& s : samples) {
+    if (predict(s.features) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,72 @@
+// CART decision-tree classifier.
+//
+// This is the supervised baseline of DiTomaso et al. (MICRO-16) that the
+// paper compares against: a tree trained offline on labeled examples
+// (router features -> observed error level) and frozen during the testing
+// phase. We implement standard CART with Gini-impurity splits on axis-
+// aligned thresholds, depth and leaf-size regularization, and majority-vote
+// leaves.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rlftnoc {
+
+/// One labeled training example.
+struct DtSample {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// Training hyper-parameters.
+struct DtParams {
+  int max_depth = 8;
+  int min_samples_leaf = 8;
+  double min_impurity_decrease = 1e-4;
+};
+
+/// Axis-aligned binary decision tree for small integer labels.
+class DecisionTree {
+ public:
+  /// Fits the tree to `samples`. `num_classes` bounds the label range
+  /// [0, num_classes). Throws std::invalid_argument on empty / ragged input.
+  void train(const std::vector<DtSample>& samples, int num_classes,
+             DtParams params = {});
+
+  /// Predicted class for a feature vector (majority class of the leaf).
+  /// An untrained tree predicts 0.
+  int predict(std::span<const double> features) const;
+
+  /// Per-class leaf distribution for a feature vector (empty if untrained).
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  bool trained() const noexcept { return !nodes_.empty(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  int depth() const noexcept;
+
+  /// Fraction of `samples` classified correctly.
+  double accuracy(const std::vector<DtSample>& samples) const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< split feature; -1 for leaves
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int majority = 0;
+    std::vector<double> class_frac;  ///< normalized class histogram
+  };
+
+  int build(std::vector<int>& indices, int begin, int end,
+            const std::vector<DtSample>& samples, int depth, const DtParams& params);
+  int leaf_for(std::span<const double> features) const;
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,59 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace rlftnoc {
+
+InjectionResult LinkFaultInjector::inject(BitVec128& payload, FlitEcc* ecc,
+                                          double p_flit) {
+  InjectionResult out;
+
+  // Temporal correlation: voltage droops multiply the error probability for
+  // a burst of consecutive traversals.
+  const VariusParams& vp = model_->params();
+  if (droop_left_ > 0) {
+    --droop_left_;
+    p_flit = std::min(1.0, p_flit * vp.droop_scale);
+  } else if (vp.droop_rate > 0.0 && rng_.bernoulli(vp.droop_rate)) {
+    droop_left_ = vp.droop_len_traversals;
+    ++total_droops_;
+    p_flit = std::min(1.0, p_flit * vp.droop_scale);
+  }
+
+  if (!rng_.bernoulli(p_flit)) return out;
+
+  out.error_event = true;
+  ++total_events_;
+
+  const int payload_bits = static_cast<int>(BitVec128::kBits);
+  const int check_bits = ecc != nullptr ? 2 * Secded7264::kCheckBits : 0;
+  const int codeword_bits = payload_bits + check_bits;
+
+  // 1 mandatory flip + geometric burst; cap the burst so a single event can
+  // never rewrite the whole flit.
+  const double q = model_->multibit_param(p_flit);
+  int flips = 1;
+  while (flips < 8 && rng_.bernoulli(q)) ++flips;
+
+  for (int i = 0; i < flips; ++i) {
+    const int pos = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(codeword_bits)));
+    if (pos < payload_bits) {
+      payload.flip_bit(static_cast<std::size_t>(pos));
+      ++out.payload_flips;
+    } else {
+      const int cpos = pos - payload_bits;
+      if (cpos < Secded7264::kCheckBits) {
+        ecc->check0 = static_cast<std::uint8_t>(ecc->check0 ^ (1u << cpos));
+      } else {
+        ecc->check1 =
+            static_cast<std::uint8_t>(ecc->check1 ^ (1u << (cpos - Secded7264::kCheckBits)));
+      }
+      ++out.check_flips;
+    }
+  }
+  out.bits_flipped = out.payload_flips + out.check_flips;
+  total_flips_ += static_cast<std::uint64_t>(out.bits_flipped);
+  return out;
+}
+
+}  // namespace rlftnoc

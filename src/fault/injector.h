@@ -1,0 +1,64 @@
+// Per-link transient-fault injector.
+//
+// Given the per-flit timing-error probability computed by the VARIUS model,
+// the injector decides whether a traversal suffers an error event and, if
+// so, flips real bits in the flit payload (and, when the link's ECC is
+// enabled, possibly in the check bits — errors do not respect field
+// boundaries). The first flipped bit is uniform over the codeword; further
+// bits follow a geometric burst whose parameter comes from the model, so at
+// high error pressure multi-bit patterns that defeat SECDED become common.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "coding/secded.h"
+#include "fault/varius.h"
+
+namespace rlftnoc {
+
+/// What the injector did to one flit traversal.
+struct InjectionResult {
+  bool error_event = false;  ///< a timing error occurred on this traversal
+  int bits_flipped = 0;      ///< total flips (payload + check bits)
+  int payload_flips = 0;     ///< flips landing in the 128 data bits
+  int check_flips = 0;       ///< flips landing in the 16 ECC check bits
+};
+
+/// Fault injector for one physical link direction.
+///
+/// Owns its RNG stream (derived from the experiment seed and the link name)
+/// so adding or removing other random consumers never changes its draws.
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(const VariusModel* model, std::uint64_t seed,
+                    std::string_view link_tag)
+      : model_(model), rng_(seed, link_tag) {}
+
+  /// Possibly corrupts `payload` (+ `ecc` when non-null, i.e. the link is
+  /// ECC-protected and check bits travel on the wire too).
+  ///
+  /// `p_flit` is the per-traversal error probability for the current
+  /// conditions; the caller computes it from the model so it can apply the
+  /// mode-3 period stretch.
+  InjectionResult inject(BitVec128& payload, FlitEcc* ecc, double p_flit);
+
+  /// Cumulative counters for diagnostics.
+  std::uint64_t total_events() const noexcept { return total_events_; }
+  std::uint64_t total_flips() const noexcept { return total_flips_; }
+  std::uint64_t total_droops() const noexcept { return total_droops_; }
+
+  /// True while the link is inside a voltage-droop burst.
+  bool in_droop() const noexcept { return droop_left_ > 0; }
+
+ private:
+  const VariusModel* model_;
+  Rng rng_;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t total_flips_ = 0;
+  std::uint64_t total_droops_ = 0;
+  int droop_left_ = 0;
+};
+
+}  // namespace rlftnoc

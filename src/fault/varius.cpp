@@ -1,0 +1,37 @@
+#include "fault/varius.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlftnoc {
+
+double VariusModel::normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / 1.4142135623730951);
+}
+
+double VariusModel::mean_path_delay(double temp_c, double link_util,
+                                    double voltage) const noexcept {
+  const double temp_term = 1.0 + p_.temp_coeff * (temp_c - p_.ref_temp_c);
+  const double util_term = 1.0 + p_.util_coeff * std::clamp(link_util, 0.0, 1.0);
+  const double v = std::max(voltage, 0.5);
+  const double volt_term = std::pow(p_.vnom / v, p_.volt_exponent);
+  return p_.nominal_delay * temp_term * util_term * volt_term;
+}
+
+double VariusModel::flit_error_probability(double temp_c, double link_util,
+                                           double voltage,
+                                           double period_factor) const noexcept {
+  const double mu = mean_path_delay(temp_c, link_util, voltage);
+  const double period = std::max(period_factor, 0.1);
+  // Error iff sampled delay > available period; delay ~ N(mu, sigma).
+  const double z = (mu - period) / p_.sigma;
+  const double p = normal_cdf(z);
+  // Clamp away exact 0/1 so downstream log-space discretization stays finite.
+  return std::clamp(p, 1e-12, 1.0 - 1e-12);
+}
+
+double VariusModel::multibit_param(double p_flit) const noexcept {
+  return std::min(p_.multibit_cap, p_.multibit_base + p_.multibit_slope * p_flit);
+}
+
+}  // namespace rlftnoc

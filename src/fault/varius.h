@@ -1,0 +1,83 @@
+// VARIUS-style timing-error model (Sarangi et al., IEEE TSM 2008), compact
+// analytic re-implementation.
+//
+// The paper feeds runtime NoC attributes (voltage, frequency, link
+// utilization) into HotSpot to get a router temperature, and VARIUS maps that
+// temperature to a per-link timing-error probability. We reproduce that map:
+// the critical-path delay grows with temperature (carrier mobility
+// degradation) and activity, shrinks with voltage headroom, and process
+// variation spreads it as a Gaussian; a timing error occurs when the sampled
+// path delay exceeds the clock period. Operation mode 3 stretches the
+// effective period (the 2-cycle relaxed-timing transfer of Section III),
+// which collapses the error probability to ~0 exactly as the paper claims.
+#pragma once
+
+#include <cstdint>
+
+namespace rlftnoc {
+
+/// Tunable coefficients of the timing-error model.
+///
+/// Defaults are calibrated so that across the paper's operating envelope
+/// (temperature 50-100 C, link utilization up to 0.3 flits/cycle, 1.0 V,
+/// 2 GHz) the per-flit error probability spans ~1e-3 (cool, idle) to ~0.1
+/// (hot, busy) — the four regimes that motivate the four operation modes,
+/// while keeping the CRC baseline able to finish (its per-packet end-to-end
+/// failure probability tops out well below 1).
+struct VariusParams {
+  double nominal_delay = 0.86;  ///< mean path delay at ref temp, fraction of Tclk
+  double ref_temp_c = 50.0;     ///< temperature at which nominal_delay holds
+  double temp_coeff = 0.0016;   ///< fractional delay increase per deg C
+  double util_coeff = 0.05;     ///< fractional delay increase at util = 1.0
+  double sigma = 0.045;         ///< process-variation std-dev, fraction of Tclk
+  double vnom = 1.0;            ///< nominal supply voltage (V)
+  double volt_exponent = 1.3;   ///< delay ~ (vnom/V)^volt_exponent
+  /// Multi-bit severity: given an error event, extra bits flip with a
+  /// geometric tail whose parameter grows with the error probability.
+  double multibit_base = 0.15;
+  double multibit_slope = 2.0;
+  double multibit_cap = 0.60;
+
+  /// Temporal correlation (supply-voltage droop): with probability
+  /// `droop_rate` per traversal a link enters a droop lasting
+  /// `droop_len_traversals` flits during which the error probability is
+  /// multiplied by `droop_scale`. Droops are what make consecutive flits of
+  /// one packet fail together — the regime the paper's mode 3 targets.
+  /// Set droop_rate = 0 for the uncorrelated model.
+  double droop_rate = 2e-4;
+  int droop_len_traversals = 24;
+  double droop_scale = 12.0;
+};
+
+/// Stateless delay/error-probability model.
+class VariusModel {
+ public:
+  explicit VariusModel(VariusParams params = {}) noexcept : p_(params) {}
+
+  const VariusParams& params() const noexcept { return p_; }
+
+  /// Mean critical-path delay as a fraction of the clock period.
+  ///
+  /// `temp_c` in Celsius; `link_util` in flits/cycle (0..1); `voltage` in V.
+  double mean_path_delay(double temp_c, double link_util, double voltage) const noexcept;
+
+  /// Probability that a flit transmission suffers a timing error.
+  ///
+  /// `period_factor` scales the available timing window: 1.0 for a normal
+  /// single-cycle transfer, 2.0 for the mode-3 relaxed transfer.
+  double flit_error_probability(double temp_c, double link_util, double voltage,
+                                double period_factor = 1.0) const noexcept;
+
+  /// Geometric parameter for the number of *extra* bits flipped in an error
+  /// event (beyond the first). Higher error pressure -> wider flip bursts,
+  /// which is what defeats SECDED at high error levels.
+  double multibit_param(double p_flit) const noexcept;
+
+  /// Standard normal CDF (exposed for tests).
+  static double normal_cdf(double z) noexcept;
+
+ private:
+  VariusParams p_;
+};
+
+}  // namespace rlftnoc

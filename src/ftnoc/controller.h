@@ -1,0 +1,114 @@
+// The per-router fault-tolerant controller of Fig. 2, plus the runtime
+// model coupling (power -> HotSpot temperature -> VARIUS error probability)
+// of Section V.A.
+//
+// Once per control time-step (default 1000 cycles, matching "the temporal
+// difference rule is applied every 1K cycles") the controller:
+//   1. turns each tile's window power into heat and steps the thermal grid,
+//   2. refreshes every link's timing-error probability from the VARIUS
+//      model at the new temperature and observed utilization,
+//   3. builds each router's feature snapshot (Table I),
+//   4. computes each router's reward 1 / (E2E latency x power) (Eq. (3)),
+//   5. asks the policy for the next operation mode and applies it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/varius.h"
+#include "ftnoc/features.h"
+#include "ftnoc/policy.h"
+#include "noc/network.h"
+#include "thermal/hotspot_lite.h"
+
+namespace rlftnoc {
+
+/// Knobs of the control loop and the power->heat coupling.
+struct ControllerOptions {
+  Cycle step_cycles = 1000;    ///< control time-step (paper: 1K cycles)
+  double voltage = 1.0;        ///< Table II: 1.0 V
+  bool faults_enabled = true;  ///< master switch for timing-error injection
+
+  /// Tile heat = core_base_w + core_per_flit_w * local traffic (flits/cycle)
+  ///            + router_power_scale * (router dynamic + leakage).
+  /// The processing core dominates tile heat; these coefficients place idle
+  /// tiles near 50 C and saturated ones near 100 C (the paper's observed
+  /// band) given the default ThermalParams.
+  double core_base_w = 0.06;
+  double core_per_flit_w = 3.0;
+  double router_power_scale = 1.0;
+
+  /// Default per-router, per-hop latency (cycles) for the reward when no
+  /// packet finished in a window.
+  double idle_latency_cycles = 8.0;
+
+  /// Exponent on the reward's energy-per-flit term: reward =
+  /// K / (latency x energy^w). The error cost of a cheap unprotected link
+  /// is shared by every router on the path while its energy saving is
+  /// private, so a full-weight energy term (w = 1) finances free-riding —
+  /// each agent defects to mode 0 and the ensemble melts down. Damping the
+  /// energy term keeps the efficiency incentive while letting the shared
+  /// latency signal dominate. See DESIGN.md "reward shaping".
+  double reward_energy_weight = 0.35;
+
+  /// EMA smoothing factor applied to the windowed features before
+  /// discretization. Raw 1K-cycle windows are too noisy for a tabular
+  /// learner — bins flap and states rarely repeat; smoothing makes the
+  /// discretized state recur so Q-learning can converge.
+  double feature_ema_alpha = 0.15;
+};
+
+class FtController {
+ public:
+  FtController(Network* net, ControlPolicy* policy, ControllerOptions opt = {},
+               ThermalParams thermal = {}, double error_scale = 1.0);
+
+  /// Call once after every Network::step(); triggers a control step every
+  /// `opt.step_cycles` cycles.
+  void on_cycle();
+
+  /// Forces a control step now (also invoked once at construction so links
+  /// start with valid error probabilities).
+  void control_step();
+
+  /// Notifies the policy of a phase change.
+  void begin_phase(SimPhase phase);
+
+  ThermalGrid& thermal() noexcept { return thermal_; }
+  const ThermalGrid& thermal() const noexcept { return thermal_; }
+  ControlPolicy& policy() noexcept { return *policy_; }
+  const ControllerOptions& options() const noexcept { return opt_; }
+
+  /// Last computed snapshot / reward / mode per router (diagnostics).
+  const FeatureSnapshot& last_features(NodeId r) const {
+    return features_.at(static_cast<std::size_t>(r));
+  }
+  double last_reward(NodeId r) const { return rewards_.at(static_cast<std::size_t>(r)); }
+  OpMode current_mode(NodeId r) const;
+
+  /// Number of control steps taken so far.
+  std::uint64_t steps() const noexcept { return steps_; }
+
+ private:
+  void refresh_link_probabilities(NodeId r, const FeatureSnapshot& snap);
+
+  Network* net_;
+  ControlPolicy* policy_;
+  ControllerOptions opt_;
+  ThermalGrid thermal_;
+  double error_scale_;  ///< global multiplier on error probabilities (sweeps)
+
+  std::vector<RouterCounters> prev_router_;
+  std::vector<NiCounters> prev_ni_;
+  std::vector<FeatureSnapshot> features_;
+  /// Smoothed feature state, one snapshot-shaped EMA bank per router.
+  std::vector<FeatureSnapshot> smoothed_;
+  std::vector<double> rewards_;
+  std::vector<double> last_latency_;
+  std::vector<double> last_energy_per_flit_;
+  Cycle last_step_cycle_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace rlftnoc

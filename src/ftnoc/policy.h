@@ -1,0 +1,76 @@
+// Control-policy interface for the per-router fault-tolerant controller,
+// plus the trivially static policies.
+//
+// The controller calls `decide()` once per router per control time-step,
+// passing the freshly observed state and the reward earned over the interval
+// that just ended. Static policies ignore both; learning policies use them.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "ftnoc/features.h"
+#include "power/orion_lite.h"
+
+namespace rlftnoc {
+
+/// Simulation phase, so learning policies know when to explore / freeze.
+enum class SimPhase : std::uint8_t {
+  kPretrain = 0,
+  kWarmup = 1,
+  kMeasure = 2,
+};
+
+/// Strategy that maps router state to an operation mode each time-step.
+class ControlPolicy {
+ public:
+  virtual ~ControlPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Chooses the operation mode for `router` for the next time-step.
+  /// `reward` is the reward earned over the interval that just ended
+  /// (Eq. (3): 1 / (E2E latency x power)).
+  virtual OpMode decide(NodeId router, const FeatureSnapshot& state, double reward) = 0;
+
+  /// Phase transition notification (pretrain -> warmup -> measure).
+  virtual void begin_phase(SimPhase /*phase*/) {}
+
+  /// Per-control-step energy cost of running this policy's logic, if any.
+  virtual std::optional<PowerEvent> control_energy_event() const { return std::nullopt; }
+};
+
+/// Fixed operation mode everywhere: mode 0 is the CRC baseline (ECC links
+/// off, destination CRC + source retransmission only); mode 1 is the static
+/// ARQ+ECC baseline of Fig. 1(c).
+class StaticPolicy final : public ControlPolicy {
+ public:
+  explicit StaticPolicy(OpMode mode) noexcept : mode_(mode) {}
+
+  const char* name() const override {
+    return mode_ == OpMode::kMode0 ? "CRC" : "ARQ+ECC";
+  }
+  OpMode decide(NodeId, const FeatureSnapshot&, double) override { return mode_; }
+
+ private:
+  OpMode mode_;
+};
+
+/// Upper-bound reference: classifies the *true* per-link error probability
+/// (which a real controller cannot see) into an error level. The decision
+/// tree approximates this mapping from observable features.
+class OraclePolicy final : public ControlPolicy {
+ public:
+  explicit OraclePolicy(ErrorLevelThresholds thresholds = {}) noexcept
+      : thresholds_(thresholds) {}
+
+  const char* name() const override { return "Oracle"; }
+  OpMode decide(NodeId, const FeatureSnapshot& s, double) override {
+    return thresholds_.classify(s.true_error_prob);
+  }
+
+ private:
+  ErrorLevelThresholds thresholds_;
+};
+
+}  // namespace rlftnoc

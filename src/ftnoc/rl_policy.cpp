@@ -1,0 +1,21 @@
+#include "ftnoc/rl_policy.h"
+
+#include "rl/qtable_io.h"
+
+namespace rlftnoc {
+
+void RlPolicy::save_tables(const std::string& path) const {
+  std::vector<const QTable*> tables;
+  tables.reserve(agents_.size());
+  for (const QLearningAgent& a : agents_) tables.push_back(&a.table());
+  write_qtables_file(path, tables);
+}
+
+void RlPolicy::load_tables(const std::string& path) {
+  std::vector<QTable*> tables;
+  tables.reserve(agents_.size());
+  for (QLearningAgent& a : agents_) tables.push_back(&a.table());
+  read_qtables_file(path, tables);
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,80 @@
+// Delay-line channels.
+//
+// Every inter-router signal (flits, credits, ACK/NACKs) travels through a
+// fixed-latency delay line, which is what makes the cycle-driven update
+// order-independent: producers push entries stamped `deliver_at = now +
+// latency`, consumers only pop entries whose stamp has matured. Pushing and
+// popping within the same simulated cycle therefore never race.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.h"
+#include "noc/flit.h"
+
+namespace rlftnoc {
+
+/// FIFO with per-entry maturity stamps.
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(Cycle latency = 1) noexcept : latency_(latency) {}
+
+  Cycle latency() const noexcept { return latency_; }
+
+  /// Enqueues `value` at time `now`; it becomes visible at `now + latency`.
+  void push(Cycle now, T value) {
+    entries_.push_back(Entry{now + latency_, std::move(value)});
+  }
+
+  /// Enqueues with `extra` additional cycles of delay (mode-3 relaxed-timing
+  /// transfers). Callers keep the channel busy over the stretch, so stamps
+  /// stay monotone and FIFO order is preserved.
+  void push_delayed(Cycle now, T value, Cycle extra) {
+    entries_.push_back(Entry{now + latency_ + extra, std::move(value)});
+  }
+
+  /// Pops the oldest entry if it has matured by `now`.
+  std::optional<T> pop(Cycle now) {
+    if (entries_.empty() || entries_.front().deliver_at > now) return std::nullopt;
+    T out = std::move(entries_.front().value);
+    entries_.pop_front();
+    return out;
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Cycle deliver_at;
+    T value;
+  };
+  Cycle latency_;
+  std::deque<Entry> entries_;
+};
+
+/// Credit returned upstream when a flit vacates an input VC buffer slot.
+struct Credit {
+  VcId vc = kInvalidVc;
+};
+
+/// Link-level ACK/NACK for the ARQ+ECC protocol.
+struct AckMsg {
+  FlitId flit_id = 0;
+  VcId vc = kInvalidVc;
+  bool nack = false;
+};
+
+/// One direction of a physical channel between adjacent routers (or between
+/// a router and its network interface): a flit lane plus the reverse credit
+/// and ACK lanes.
+struct ChannelPair {
+  DelayLine<Flit> flits{1};
+  DelayLine<Credit> credits{1};
+  DelayLine<AckMsg> acks{1};
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,83 @@
+// Flit and packet representations.
+//
+// Packets are segmented into flits (Table II: 4 flits of 128 bits). The
+// payload is real data: the source NI fills it from a seeded RNG, computes a
+// per-flit CRC-32, and the fault injector flips payload bits in flight, so
+// end-to-end detection behaves exactly like the code it models.
+//
+// Header fields (src/dst/vc/sequence) ride as side-band metadata and are
+// never corrupted; real routers protect the header with a dedicated stronger
+// code, and the paper's error model targets the datapath (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/types.h"
+#include "coding/secded.h"
+
+namespace rlftnoc {
+
+/// Position of a flit within its packet.
+enum class FlitType : std::uint8_t {
+  kHead = 0,
+  kBody = 1,
+  kTail = 2,
+  kHeadTail = 3,  ///< single-flit packet
+};
+
+/// Globally unique flit identity: packet id in the high bits, sequence in
+/// the low byte. Used by the per-hop ARQ to match ACK/NACKs and duplicates.
+using FlitId = std::uint64_t;
+
+constexpr FlitId make_flit_id(PacketId pkt, std::uint32_t seq) noexcept {
+  return (pkt << 8) | (seq & 0xFFu);
+}
+
+/// The unit of link-level transfer.
+struct Flit {
+  FlitType type = FlitType::kHead;
+  PacketId packet_id = 0;
+  std::uint32_t seq = 0;       ///< flit index within the packet
+  std::uint32_t packet_len = 1;///< total flits in the packet
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  VcId vc = kInvalidVc;        ///< VC at the *receiving* input port
+
+  BitVec128 payload;           ///< 128 data bits (mutable by faults)
+  std::uint32_t crc = 0;       ///< flit CRC computed once at the source NI
+
+  /// Per-hop ECC state: valid only while crossing an ECC-enabled link.
+  FlitEcc ecc;
+  bool ecc_valid = false;
+
+  Cycle packet_inject_cycle = kInvalidCycle;  ///< when the packet entered the source NI queue
+  bool hop_retransmission = false;            ///< this copy is a link-level re-send
+
+  /// Link sequence number, stamped per (router, output port) at first
+  /// transmission. The link layer delivers in-order (go-back-N): a receiver
+  /// NACKs any flit arriving ahead of the expected sequence and ACK-drops
+  /// any duplicate behind it, so rejected flits can never be overtaken.
+  std::uint64_t lsn = 0;
+
+  FlitId id() const noexcept { return make_flit_id(packet_id, seq); }
+  bool is_head() const noexcept {
+    return type == FlitType::kHead || type == FlitType::kHeadTail;
+  }
+  bool is_tail() const noexcept {
+    return type == FlitType::kTail || type == FlitType::kHeadTail;
+  }
+};
+
+/// A packet awaiting injection (or retained at the source for possible
+/// end-to-end retransmission).
+struct Packet {
+  PacketId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Cycle inject_cycle = kInvalidCycle;  ///< creation time at the source NI
+  std::vector<Flit> flits;             ///< pristine flits (CRC already set)
+};
+
+}  // namespace rlftnoc

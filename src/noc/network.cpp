@@ -1,0 +1,125 @@
+#include "noc/network.h"
+
+#include <string>
+
+namespace rlftnoc {
+
+Network::Network(const NocConfig& cfg, std::uint64_t seed, VariusParams varius,
+                 PowerParams power)
+    : cfg_(cfg),
+      topo_(cfg),
+      varius_(varius),
+      power_(cfg.num_nodes(), power),
+      payload_rng_(seed, "payload") {
+  cfg_.validate();
+  const int n = cfg_.num_nodes();
+  latency_window_.resize(static_cast<std::size_t>(n));
+
+  out_ch_.resize(static_cast<std::size_t>(n) * kNumPorts);
+  link_prob_.resize(static_cast<std::size_t>(n) * kNumPorts);
+  injectors_.resize(static_cast<std::size_t>(n) * kNumPorts);
+
+  for (NodeId node = 0; node < n; ++node) {
+    for (const Port p : kAllPorts) {
+      if (p == Port::kLocal) continue;
+      if (topo_.neighbor(node, p) == kInvalidNode) continue;
+      const std::size_t idx = link_index(node, p);
+      out_ch_[idx] = std::make_unique<ChannelPair>();
+      injectors_[idx] = std::make_unique<LinkFaultInjector>(
+          &varius_, seed, "link:" + std::to_string(node) + ":" + port_name(p));
+    }
+  }
+
+  inj_.reserve(static_cast<std::size_t>(n));
+  ej_.reserve(static_cast<std::size_t>(n));
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  for (NodeId node = 0; node < n; ++node) {
+    inj_.push_back(std::make_unique<ChannelPair>());
+    ej_.push_back(std::make_unique<ChannelPair>());
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    routers_.push_back(std::make_unique<Router>(node, &cfg_, this));
+    nis_.push_back(std::make_unique<NetworkInterface>(node, &cfg_, this));
+  }
+}
+
+ChannelPair* Network::out_channel(NodeId node, Port p) {
+  if (p == Port::kLocal) return nullptr;
+  return out_ch_[link_index(node, p)].get();
+}
+
+ChannelPair* Network::in_channel(NodeId node, Port p) {
+  if (p == Port::kLocal) return nullptr;
+  const NodeId nb = topo_.neighbor(node, p);
+  if (nb == kInvalidNode) return nullptr;
+  return out_ch_[link_index(nb, opposite(p))].get();
+}
+
+void Network::set_link_error_prob(NodeId node, Port p, LinkErrorProb prob) {
+  link_prob_.at(link_index(node, p)) = prob;
+}
+
+LinkErrorProb Network::link_error_prob(NodeId node, Port p) const {
+  return link_prob_.at(link_index(node, p));
+}
+
+void Network::corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed) {
+  if (p == Port::kLocal) return;
+  const std::size_t idx = link_index(node, p);
+  LinkFaultInjector* inj = injectors_[idx].get();
+  if (inj == nullptr) return;
+  const LinkErrorProb& prob = link_prob_[idx];
+  const double pe = relaxed ? prob.relaxed : prob.normal;
+  if (pe <= 0.0) return;
+  inj->inject(flit.payload, flit.ecc_valid ? &flit.ecc : nullptr, pe);
+}
+
+void Network::add_path_latency(NodeId src, NodeId dst, double latency_cycles) {
+  // Walk the deterministic X-Y path and credit every traversed router.
+  NodeId cur = src;
+  latency_window_[static_cast<std::size_t>(cur)].add(latency_cycles);
+  while (cur != dst) {
+    cur = topo_.neighbor(cur, topo_.xy_route(cur, dst));
+    latency_window_[static_cast<std::size_t>(cur)].add(latency_cycles);
+  }
+}
+
+void Network::schedule_e2e_response(Cycle at, NodeId src, PacketId id, bool ok) {
+  e2e_events_.push(E2eEvent{at, src, id, ok, e2e_seq_++});
+}
+
+void Network::step() {
+  const Cycle t = now_;
+  while (!e2e_events_.empty() && e2e_events_.top().at <= t) {
+    const E2eEvent ev = e2e_events_.top();
+    e2e_events_.pop();
+    ni(ev.src).deliver_e2e_response(t, ev.id, ev.ok);
+  }
+  for (auto& r : routers_) r->receive(t);
+  for (auto& n : nis_) n->receive(t);
+  for (auto& r : routers_) r->execute(t);
+  for (auto& n : nis_) n->execute(t);
+  ++now_;
+}
+
+bool Network::drained() const {
+  for (const auto& n : nis_) {
+    if (!n->idle()) return false;
+  }
+  for (const auto& r : routers_) {
+    if (r->buffered_flits() != 0 || r->pending_link_work() != 0) return false;
+  }
+  for (const auto& ch : out_ch_) {
+    if (ch && !ch->flits.empty()) return false;
+  }
+  for (const auto& ch : inj_) {
+    if (!ch->flits.empty()) return false;
+  }
+  for (const auto& ch : ej_) {
+    if (!ch->flits.empty()) return false;
+  }
+  return e2e_events_.empty();
+}
+
+}  // namespace rlftnoc

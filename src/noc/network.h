@@ -1,0 +1,180 @@
+// Top-level NoC: routers, network interfaces, channels, fault injection and
+// power hooks, advanced one cycle at a time.
+//
+// Update discipline: within one `step()` every router and NI first *receives*
+// (popping only signals that matured on the delay-line channels), then every
+// router and NI *executes* (pushing signals that mature next cycle). The
+// visible state of a cycle is therefore independent of iteration order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "fault/injector.h"
+#include "fault/varius.h"
+#include "noc/channel.h"
+#include "noc/ni.h"
+#include "noc/noc_config.h"
+#include "noc/router.h"
+#include "noc/topology.h"
+#include "power/orion_lite.h"
+
+namespace rlftnoc {
+
+/// Network-wide roll-up metrics for one simulation phase.
+struct NetworkMetrics {
+  StatAccumulator packet_latency;  ///< end-to-end cycles, successful packets
+  /// Latency distribution for tail percentiles (bucketed 0..20K cycles;
+  /// beyond that the overflow bucket still keeps quantiles monotone).
+  Histogram latency_hist{0.0, 20000.0, 2000};
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packet_e2e_retransmissions = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t retx_flits_e2e = 0;   ///< flits re-sent source->dest (CRC path)
+  std::uint64_t retx_flits_hop = 0;   ///< link-level NACK-triggered re-sends
+  std::uint64_t dup_flits = 0;        ///< mode-2 proactive duplicates
+  std::uint64_t crc_packet_failures = 0;
+  Cycle last_delivery_cycle = 0;
+
+  /// The paper's "retransmission traffic": every flit transmission beyond
+  /// the first copy, whatever mechanism caused it.
+  std::uint64_t total_retransmitted_flits() const noexcept {
+    return retx_flits_e2e + retx_flits_hop + dup_flits;
+  }
+
+  void reset() { *this = NetworkMetrics{}; }
+};
+
+/// Per-link timing-error probabilities, refreshed by the control layer each
+/// time-step from the thermal + VARIUS models.
+struct LinkErrorProb {
+  double normal = 0.0;   ///< single-cycle transfer (modes 0-2)
+  double relaxed = 0.0;  ///< stretched mode-3 transfer
+};
+
+class Network {
+ public:
+  Network(const NocConfig& cfg, std::uint64_t seed, VariusParams varius = {},
+          PowerParams power = {});
+
+  // Non-copyable: routers/NIs hold back-pointers.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Advances the whole network by one cycle.
+  void step();
+
+  Cycle now() const noexcept { return now_; }
+  const NocConfig& config() const noexcept { return cfg_; }
+  const MeshTopology& topology() const noexcept { return topo_; }
+
+  Router& router(NodeId n) { return *routers_.at(static_cast<std::size_t>(n)); }
+  const Router& router(NodeId n) const { return *routers_.at(static_cast<std::size_t>(n)); }
+  NetworkInterface& ni(NodeId n) { return *nis_.at(static_cast<std::size_t>(n)); }
+  const NetworkInterface& ni(NodeId n) const { return *nis_.at(static_cast<std::size_t>(n)); }
+
+  PowerModel& power() noexcept { return power_; }
+  const PowerModel& power() const noexcept { return power_; }
+  NetworkMetrics& metrics() noexcept { return metrics_; }
+  const NetworkMetrics& metrics() const noexcept { return metrics_; }
+  const VariusModel& varius() const noexcept { return varius_; }
+
+  /// Outgoing inter-router channel of `node` through mesh port `p`;
+  /// nullptr at a mesh edge or for the Local port.
+  ChannelPair* out_channel(NodeId node, Port p);
+  /// Incoming inter-router channel at `node`'s input port `p` (the
+  /// neighbour's outgoing channel); nullptr at a mesh edge / Local.
+  ChannelPair* in_channel(NodeId node, Port p);
+  /// NI -> router injection channel of `node`.
+  ChannelPair& inj_channel(NodeId node) {
+    return *inj_.at(static_cast<std::size_t>(node));
+  }
+  /// Router -> NI ejection channel of `node`.
+  ChannelPair& ej_channel(NodeId node) {
+    return *ej_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Sets the error probabilities of the link leaving `node` through `p`.
+  void set_link_error_prob(NodeId node, Port p, LinkErrorProb prob);
+  LinkErrorProb link_error_prob(NodeId node, Port p) const;
+
+  /// Applies transient faults to a flit entering the wire at (`node`, `p`).
+  /// No-op on Local links (NI wiring is short and assumed robust).
+  void corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed);
+
+  /// Records a power event at `node`'s router.
+  void record_power(NodeId node, PowerEvent e, std::uint64_t n = 1) {
+    power_.record(node, e, n);
+  }
+
+  /// Schedules delivery of an end-to-end ACK / retransmission request back
+  /// to the source NI of `packet` at cycle `at`.
+  void schedule_e2e_response(Cycle at, NodeId src, PacketId id, bool ok);
+
+  /// True when no packet, flit, credit, ACK or timer is in flight anywhere.
+  bool drained() const;
+
+  /// RNG stream for payload generation (shared by make_packet callers that
+  /// don't carry their own stream).
+  Rng& payload_rng() noexcept { return payload_rng_; }
+
+  /// Credits a delivered packet's end-to-end latency to every router on its
+  /// X-Y path (the paper's per-router "E2E_Latency(i)" reward term).
+  void add_path_latency(NodeId src, NodeId dst, double latency_cycles);
+
+  /// Window accumulator of latencies credited to `node` (reset each control
+  /// time-step by the fault-tolerant controller).
+  StatAccumulator& router_latency_window(NodeId node) {
+    return latency_window_.at(static_cast<std::size_t>(node));
+  }
+
+ private:
+  struct E2eEvent {
+    Cycle at;
+    NodeId src;
+    PacketId id;
+    bool ok;
+    /// Min-heap on `at`; seq breaks ties so delivery order is deterministic.
+    std::uint64_t seq;
+    friend bool operator>(const E2eEvent& a, const E2eEvent& b) noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::size_t link_index(NodeId node, Port p) const noexcept {
+    return static_cast<std::size_t>(node) * kNumPorts + port_index(p);
+  }
+
+  NocConfig cfg_;
+  MeshTopology topo_;
+  Cycle now_ = 0;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  /// out_ch_[node*5+port]: inter-router channels (null at edges / Local).
+  std::vector<std::unique_ptr<ChannelPair>> out_ch_;
+  std::vector<std::unique_ptr<ChannelPair>> inj_;
+  std::vector<std::unique_ptr<ChannelPair>> ej_;
+
+  VariusModel varius_;
+  PowerModel power_;
+  NetworkMetrics metrics_;
+
+  std::vector<LinkErrorProb> link_prob_;
+  std::vector<std::unique_ptr<LinkFaultInjector>> injectors_;
+
+  std::priority_queue<E2eEvent, std::vector<E2eEvent>, std::greater<>> e2e_events_;
+  std::uint64_t e2e_seq_ = 0;
+
+  std::vector<StatAccumulator> latency_window_;
+
+  Rng payload_rng_;
+};
+
+}  // namespace rlftnoc

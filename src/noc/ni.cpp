@@ -1,0 +1,205 @@
+#include "noc/ni.h"
+
+#include <cassert>
+
+#include "coding/crc.h"
+#include "common/rng.h"
+#include "noc/network.h"
+
+namespace rlftnoc {
+
+Packet make_packet(PacketId id, NodeId src, NodeId dst, int len, Cycle now, Rng& rng) {
+  Packet pkt;
+  pkt.id = id;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.inject_cycle = now;
+  pkt.flits.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    Flit f;
+    f.packet_id = id;
+    f.seq = static_cast<std::uint32_t>(i);
+    f.packet_len = static_cast<std::uint32_t>(len);
+    f.src = src;
+    f.dst = dst;
+    f.packet_inject_cycle = now;
+    if (len == 1) {
+      f.type = FlitType::kHeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::kHead;
+    } else if (i == len - 1) {
+      f.type = FlitType::kTail;
+    } else {
+      f.type = FlitType::kBody;
+    }
+    f.payload = BitVec128(rng.next_u64(), rng.next_u64());
+    f.crc = default_crc32().compute(f.payload);
+    pkt.flits.push_back(std::move(f));
+  }
+  return pkt;
+}
+
+NetworkInterface::NetworkInterface(NodeId id, const NocConfig* cfg, Network* net)
+    : id_(id), cfg_(cfg), net_(net) {
+  local_vcs_.resize(static_cast<std::size_t>(cfg_->vcs_per_port));
+  // Credits mirror the router's Local input VC buffers.
+  for (auto& vc : local_vcs_) vc.credits = cfg_->vc_depth;
+}
+
+bool NetworkInterface::enqueue_packet(Packet pkt) {
+  if (static_cast<int>(queue_.size()) >= cfg_->ni_queue_limit) {
+    ++counters_.queue_rejects;
+    return false;
+  }
+  ++counters_.packets_enqueued;
+  queue_.push_back(std::move(pkt));
+  return true;
+}
+
+void NetworkInterface::receive(Cycle now) {
+  ChannelPair& ej = net_->ej_channel(id_);
+  while (auto f = ej.flits.pop(now)) {
+    ++counters_.flits_ejected;
+    net_->record_power(id_, PowerEvent::kCrcDecode);
+    ej.credits.push(now, Credit{f->vc});
+
+    const bool crc_ok = default_crc32().compute(f->payload) == f->crc;
+    if (!crc_ok) ++counters_.crc_flit_failures;
+
+    Assembly& a = assembling_[f->packet_id];
+    if (a.expected == 0) {
+      a.src = f->src;
+      a.expected = f->packet_len;
+      a.packet_inject_cycle = f->packet_inject_cycle;
+    }
+    ++a.received;
+    a.crc_failed = a.crc_failed || !crc_ok;
+    if (a.received >= a.expected) {
+      finalize_packet(now, f->packet_id, a);
+      assembling_.erase(f->packet_id);
+    }
+  }
+}
+
+void NetworkInterface::finalize_packet(Cycle now, PacketId id, const Assembly& a) {
+  NetworkMetrics& m = net_->metrics();
+  const int hops = net_->topology().distance(id_, a.src);
+  const Cycle response_at =
+      now + static_cast<Cycle>(cfg_->e2e_ack_fixed_cycles +
+                               cfg_->e2e_ack_cycles_per_hop * hops);
+  // The control message (ACK or retransmission request) hops back across the
+  // network; charge its link energy here in one lump.
+  net_->record_power(id_, PowerEvent::kAckFlit, static_cast<std::uint64_t>(hops + 1));
+
+  if (!a.crc_failed) {
+    ++counters_.packets_delivered;
+    ++m.packets_delivered;
+    m.flits_delivered += a.expected;
+    m.packet_latency.add(static_cast<double>(now - a.packet_inject_cycle));
+    m.latency_hist.add(static_cast<double>(now - a.packet_inject_cycle));
+    m.last_delivery_cycle = now;
+    // Credit the path with the *per-hop* latency: dividing by path length
+    // removes the path-length mix from the reward's variance while keeping
+    // the congestion / retransmission signal intact.
+    net_->add_path_latency(
+        a.src, id_,
+        static_cast<double>(now - a.packet_inject_cycle) / (hops + 1));
+    net_->schedule_e2e_response(response_at, a.src, id, /*ok=*/true);
+  } else {
+    ++counters_.packets_crc_failed;
+    ++m.crc_packet_failures;
+    net_->schedule_e2e_response(response_at, a.src, id, /*ok=*/false);
+  }
+}
+
+void NetworkInterface::deliver_e2e_response(Cycle /*now*/, PacketId id, bool ok) {
+  const auto it = retained_.find(id);
+  if (it == retained_.end()) return;  // already resolved (shouldn't happen)
+  if (ok) {
+    retained_.erase(it);
+    return;
+  }
+  // Destination CRC failed: retransmit the whole packet from source.
+  ++counters_.packets_reinjected;
+  NetworkMetrics& m = net_->metrics();
+  ++m.packet_e2e_retransmissions;
+  m.retx_flits_e2e += it->second.flits.size();
+  net_->record_power(id_, PowerEvent::kRetransmission);
+  reinject_.push_back(it->second);  // pristine copy, original inject_cycle kept
+}
+
+void NetworkInterface::start_next_packet(Cycle /*now*/) {
+  assert(!sending_);
+  Packet pkt;
+  bool fresh = false;
+  if (!reinject_.empty()) {
+    pkt = std::move(reinject_.front());
+    reinject_.pop_front();
+  } else if (!queue_.empty()) {
+    pkt = std::move(queue_.front());
+    queue_.pop_front();
+    fresh = true;
+  } else {
+    return;
+  }
+
+  // Pick any local VC with credit headroom; we send one packet at a time so
+  // at most one VC is ever busy.
+  VcId best = kInvalidVc;
+  int best_credits = 0;
+  for (VcId v = 0; v < static_cast<VcId>(local_vcs_.size()); ++v) {
+    const LocalVc& vc = local_vcs_[static_cast<std::size_t>(v)];
+    if (!vc.busy && vc.credits > best_credits) {
+      best = v;
+      best_credits = vc.credits;
+    }
+  }
+  if (best == kInvalidVc) {
+    // All VCs exhausted; retry next cycle.
+    if (fresh) {
+      queue_.push_front(std::move(pkt));
+    } else {
+      reinject_.push_front(std::move(pkt));
+    }
+    return;
+  }
+
+  if (fresh) {
+    ++counters_.packets_injected;
+    ++net_->metrics().packets_injected;
+    retained_[pkt.id] = pkt;  // keep the pristine copy until the e2e ACK
+  }
+  send_vc_ = best;
+  local_vcs_[static_cast<std::size_t>(best)].busy = true;
+  next_flit_ = 0;
+  sending_is_reinject_ = !fresh;
+  sending_ = std::move(pkt);
+}
+
+void NetworkInterface::execute(Cycle now) {
+  ChannelPair& inj = net_->inj_channel(id_);
+  while (auto c = inj.credits.pop(now))
+    ++local_vcs_[static_cast<std::size_t>(c->vc)].credits;
+
+  if (!sending_) start_next_packet(now);
+  if (!sending_) return;
+
+  LocalVc& vc = local_vcs_[static_cast<std::size_t>(send_vc_)];
+  if (vc.credits <= 0) return;
+
+  Flit flit = sending_->flits[next_flit_];
+  flit.vc = send_vc_;
+  --vc.credits;
+  net_->record_power(id_, PowerEvent::kCrcEncode);
+  inj.flits.push(now, std::move(flit));
+  ++counters_.flits_sent;
+  if (!sending_is_reinject_) ++counters_.flits_sent_fresh;
+
+  if (++next_flit_ >= sending_->flits.size()) {
+    sending_.reset();
+    vc.busy = false;
+    send_vc_ = kInvalidVc;
+  }
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,113 @@
+// Network interface (NI): the local-port endpoint attached to each router.
+//
+// Source side: queues packets from the traffic layer, CRC-encodes every flit
+// (Fig. 1(b)), injects one flit per cycle subject to local-port credits, and
+// retains a pristine copy of each packet until the end-to-end ACK arrives;
+// an end-to-end NACK (destination CRC failure) re-injects the whole packet
+// from source, which is exactly the baseline CRC retransmission scheme.
+//
+// Destination side: ejects flits, recomputes the CRC over the (possibly
+// corrupted, possibly ECC-"corrected") payload, reassembles packets, and
+// requests the source retransmission when any flit fails.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/flit.h"
+#include "noc/noc_config.h"
+
+namespace rlftnoc {
+
+class Network;
+
+/// Creates a packet with `len` flits of RNG-filled payload and valid CRCs.
+class Rng;
+Packet make_packet(PacketId id, NodeId src, NodeId dst, int len, Cycle now, Rng& rng);
+
+/// Per-NI activity counters.
+struct NiCounters {
+  std::uint64_t packets_enqueued = 0;
+  std::uint64_t packets_injected = 0;      ///< first transmissions only
+  std::uint64_t packets_reinjected = 0;    ///< end-to-end retransmissions
+  std::uint64_t flits_sent = 0;
+  std::uint64_t flits_sent_fresh = 0;  ///< excludes end-to-end retransmissions
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t packets_delivered = 0;     ///< finalized with all CRCs clean
+  std::uint64_t packets_crc_failed = 0;    ///< finalized with >=1 bad flit
+  std::uint64_t crc_flit_failures = 0;
+  std::uint64_t queue_rejects = 0;         ///< enqueue refused, queue full
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId id, const NocConfig* cfg, Network* net);
+
+  NodeId id() const noexcept { return id_; }
+
+  /// Queues a packet for injection; returns false when the queue is full.
+  bool enqueue_packet(Packet pkt);
+
+  std::size_t inject_queue_depth() const noexcept {
+    return queue_.size() + reinject_.size();
+  }
+
+  /// Phase A: ejection side — drain flits and credits from the router.
+  void receive(Cycle now);
+
+  /// Phase B: injection side — push at most one flit onto the local link.
+  void execute(Cycle now);
+
+  /// Called by the Network when an end-to-end ACK (`ok`) or retransmission
+  /// request (`!ok`) for a packet we sourced arrives back.
+  void deliver_e2e_response(Cycle now, PacketId id, bool ok);
+
+  /// True when this NI holds no in-flight state (drain detection).
+  bool idle() const noexcept {
+    return queue_.empty() && reinject_.empty() && !sending_ && retained_.empty() &&
+           assembling_.empty();
+  }
+
+  const NiCounters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Assembly {
+    NodeId src = kInvalidNode;
+    std::uint32_t expected = 0;
+    std::uint32_t received = 0;
+    bool crc_failed = false;
+    Cycle packet_inject_cycle = kInvalidCycle;
+  };
+
+  /// Local-port credit mirror of the router's Local input VCs.
+  struct LocalVc {
+    bool busy = false;  ///< mid-packet: reserved until our tail goes out
+    int credits = 0;
+  };
+
+  void start_next_packet(Cycle now);
+  void finalize_packet(Cycle now, PacketId id, const Assembly& asmbl);
+
+  NodeId id_;
+  const NocConfig* cfg_;
+  Network* net_;
+
+  std::deque<Packet> queue_;     ///< fresh packets
+  std::deque<Packet> reinject_;  ///< end-to-end retransmissions (priority)
+  std::optional<Packet> sending_;
+  bool sending_is_reinject_ = false;
+  std::size_t next_flit_ = 0;
+  VcId send_vc_ = kInvalidVc;
+
+  std::unordered_map<PacketId, Packet> retained_;
+  std::unordered_map<PacketId, Assembly> assembling_;
+  std::vector<LocalVc> local_vcs_;
+
+  NiCounters counters_;
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,436 @@
+#include "noc/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "coding/secded.h"
+#include "noc/network.h"
+#include "noc/routing.h"
+
+namespace rlftnoc {
+
+namespace {
+constexpr std::array<Port, 4> kMeshPorts = {Port::kNorth, Port::kSouth, Port::kEast,
+                                            Port::kWest};
+}
+
+Router::Router(NodeId id, const NocConfig* cfg, Network* net)
+    : id_(id), cfg_(cfg), net_(net) {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    input_[p].resize(static_cast<std::size_t>(cfg_->vcs_per_port));
+    auto& op = output_[p];
+    op.vcs.resize(static_cast<std::size_t>(cfg_->vcs_per_port));
+    // Credits mirror the downstream buffer: router input VCs for mesh ports,
+    // the deeper NI ejection buffer for the Local port.
+    const int depth = (static_cast<Port>(p) == Port::kLocal) ? cfg_->local_vc_depth
+                                                             : cfg_->vc_depth;
+    for (auto& vc : op.vcs) vc.credits = depth;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Phase A: receive
+// --------------------------------------------------------------------------
+
+void Router::receive(Cycle now) {
+  for (const Port p : kMeshPorts) {
+    if (ChannelPair* ch = net_->in_channel(id_, p)) {
+      while (auto f = ch->flits.pop(now)) handle_incoming_flit(now, p, std::move(*f));
+    }
+  }
+  ChannelPair& inj = net_->inj_channel(id_);
+  while (auto f = inj.flits.pop(now))
+    handle_incoming_flit(now, Port::kLocal, std::move(*f));
+
+  for (const Port p : kMeshPorts) {
+    if (ChannelPair* ch = net_->out_channel(id_, p)) {
+      const std::size_t pi = port_index(p);
+      while (auto c = ch->credits.pop(now))
+        ++output_[pi].vcs[static_cast<std::size_t>(c->vc)].credits;
+      while (auto a = ch->acks.pop(now)) handle_ack(p, *a);
+    }
+  }
+  ChannelPair& ej = net_->ej_channel(id_);
+  while (auto c = ej.credits.pop(now))
+    ++output_[port_index(Port::kLocal)].vcs[static_cast<std::size_t>(c->vc)].credits;
+}
+
+void Router::handle_incoming_flit(Cycle now, Port in_port, Flit flit) {
+  const std::size_t pi = port_index(in_port);
+  InputArq& arq = input_arq_[pi];
+
+  if (in_port == Port::kLocal) {
+    // NI injection wire: short, robust, outside the link-layer ARQ.
+    accept_flit(in_port, std::move(flit));
+    return;
+  }
+
+  if (!flit.ecc_valid) {
+    // Unprotected link (mode 0 upstream): accept whatever arrives — the
+    // destination CRC is the only safety net — but keep the sequence stream
+    // in sync for later protected flits. The sender never emits unprotected
+    // flits while a retransmission gap is open, so this is always in-order.
+    arq.expected_lsn = flit.lsn + 1;
+    accept_flit(in_port, std::move(flit));
+    return;
+  }
+
+  const FlitId fid = flit.id();
+  if (flit.lsn < arq.expected_lsn) {
+    // Duplicate of something already accepted (mode-2 pre-retransmission
+    // behind a successful original, or a stale resend): confirm and drop.
+    ++counters_.dup_discards;
+    send_link_response(now, in_port, fid, flit.vc, /*nack=*/false);
+    return;
+  }
+  if (flit.lsn > arq.expected_lsn) {
+    // Out of order behind a rejected flit: go-back-N — NACK so the sender
+    // replays it after the gap is filled. No decode needed.
+    ++counters_.nacks_sent[pi];
+    send_link_response(now, in_port, fid, flit.vc, /*nack=*/true);
+    return;
+  }
+
+  net_->record_power(id_, PowerEvent::kEccDecode);
+  const FlitEccDecode dec = decode_flit_ecc(default_secded(), flit.payload, flit.ecc);
+  if (dec.status == SecdedStatus::kUncorrectable) {
+    // Reject: NACK upstream and wait for the resend (or the mode-2 dup).
+    ++counters_.ecc_uncorrectable;
+    ++counters_.nacks_sent[pi];
+    send_link_response(now, in_port, fid, flit.vc, /*nack=*/true);
+    return;
+  }
+
+  if (dec.status == SecdedStatus::kCorrected) ++counters_.ecc_corrections;
+  flit.payload = dec.payload;
+  flit.ecc = dec.ecc;
+  send_link_response(now, in_port, fid, flit.vc, /*nack=*/false);
+  arq.expected_lsn = flit.lsn + 1;
+  flit.ecc_valid = false;  // consumed at this hop; re-encoded if the next link is protected
+  accept_flit(in_port, std::move(flit));
+}
+
+void Router::accept_flit(Port in_port, Flit&& flit) {
+  const std::size_t pi = port_index(in_port);
+  InputVc& vc = input_[pi][static_cast<std::size_t>(flit.vc)];
+  // Credits guarantee buffer space; overflow here means a flow-control bug.
+  assert(static_cast<int>(vc.fifo.size()) < cfg_->vc_depth);
+  ++counters_.flits_in[pi];
+  net_->record_power(id_, PowerEvent::kBufferWrite);
+  vc.fifo.push_back(std::move(flit));
+}
+
+void Router::send_link_response(Cycle now, Port in_port, FlitId id, VcId vc, bool nack) {
+  ChannelPair* ch = net_->in_channel(id_, in_port);
+  assert(ch != nullptr);  // ECC traffic only arrives on mesh ports
+  ch->acks.push(now, AckMsg{id, vc, nack});
+  net_->record_power(id_, PowerEvent::kAckFlit);
+}
+
+void Router::handle_ack(Port out_port, const AckMsg& ack) {
+  const std::size_t pi = port_index(out_port);
+  Retention* r = find_retention(out_port, ack.flit_id);
+  if (r == nullptr) return;  // response for an entry already freed
+
+  if (!ack.nack) {
+    ++counters_.acks_received[pi];
+    erase_retention(out_port, ack.flit_id);
+    drop_queued_copies(out_port, ack.flit_id);
+    return;
+  }
+
+  ++counters_.nacks_received[pi];
+  r->unresolved = std::max(0, r->unresolved - 1);
+  OutputPort& op = output_[pi];
+  const bool dup_scheduled =
+      std::any_of(op.dup_queue.begin(), op.dup_queue.end(),
+                  [&](const OutputPort::PendingDup& d) { return d.id == ack.flit_id; });
+  if (r->unresolved == 0 && !dup_scheduled && !r->resend_queued) {
+    op.retx_queue.push_back(ack.flit_id);
+    r->resend_queued = true;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Phase B: execute (SA -> VA -> RC evaluated in reverse pipeline order)
+// --------------------------------------------------------------------------
+
+void Router::execute(Cycle now) {
+  stage_link_resend(now);
+  stage_switch_allocation(now);
+  stage_vc_allocation();
+  stage_route_computation();
+}
+
+void Router::stage_link_resend(Cycle now) {
+  for (const Port p : kMeshPorts) {
+    if (net_->out_channel(id_, p) == nullptr) continue;
+    const std::size_t pi = port_index(p);
+    OutputPort& op = output_[pi];
+    if (now < op.busy_until) continue;
+
+    // Priority 1: NACK-triggered resends.
+    bool sent = false;
+    while (!op.retx_queue.empty()) {
+      const FlitId fid = op.retx_queue.front();
+      Retention* r = find_retention(p, fid);
+      op.retx_queue.pop_front();
+      if (r == nullptr) continue;  // freed by a racing ACK
+      r->resend_queued = false;
+      Flit copy = r->clean;
+      copy.hop_retransmission = true;
+      ++counters_.hop_retransmissions;
+      ++net_->metrics().retx_flits_hop;
+      net_->record_power(id_, PowerEvent::kRetransmission);
+      transmit(now, p, std::move(copy), /*is_copy=*/true);
+      sent = true;
+      break;
+    }
+    if (sent) continue;
+
+    // Priority 2: mode-2 proactive duplicates whose gap has elapsed.
+    while (!op.dup_queue.empty() && op.dup_queue.front().earliest <= now) {
+      const FlitId fid = op.dup_queue.front().id;
+      op.dup_queue.pop_front();
+      Retention* r = find_retention(p, fid);
+      if (r == nullptr) continue;  // original already ACKed
+      Flit copy = r->clean;
+      copy.hop_retransmission = true;
+      ++counters_.preretx_duplicates;
+      ++net_->metrics().dup_flits;
+      transmit(now, p, std::move(copy), /*is_copy=*/true);
+      break;
+    }
+  }
+}
+
+void Router::stage_switch_allocation(Cycle now) {
+  const int vcs = cfg_->vcs_per_port;
+  const int candidates = static_cast<int>(kNumPorts) * vcs;
+  std::array<bool, kNumPorts> input_used{};
+
+  for (const Port out : kAllPorts) {
+    const std::size_t pi = port_index(out);
+    OutputPort& op = output_[pi];
+    if (now < op.busy_until) continue;
+    const bool mesh = out != Port::kLocal;
+    if (mesh && net_->out_channel(id_, out) == nullptr) continue;
+    // A protected link must be able to retain a copy of what it sends.
+    if (mesh && ecc_enabled() &&
+        static_cast<int>(op.retention.size()) >= cfg_->retention_depth)
+      continue;
+    // After switching to mode 0, the port first drains its ARQ window:
+    // sending unprotected flits past an open retransmission gap would let
+    // the stream arrive out of order.
+    if (mesh && !ecc_enabled() &&
+        !(op.retention.empty() && op.retx_queue.empty() && op.dup_queue.empty()))
+      continue;
+
+    for (int k = 0; k < candidates; ++k) {
+      const int idx = (op.sa_rr + k) % candidates;
+      const auto in_pi = static_cast<std::size_t>(idx / vcs);
+      const auto v = static_cast<std::size_t>(idx % vcs);
+      if (input_used[in_pi]) continue;
+      InputVc& iv = input_[in_pi][v];
+      if (iv.state != InputVc::State::kActive || iv.fifo.empty()) continue;
+      if (iv.out_port != out) continue;
+      OutputVc& ovc = op.vcs[static_cast<std::size_t>(iv.out_vc)];
+      if (ovc.credits <= 0) continue;
+
+      // Grant: read the flit, cross the switch, return the buffer credit.
+      Flit flit = std::move(iv.fifo.front());
+      iv.fifo.pop_front();
+      net_->record_power(id_, PowerEvent::kBufferRead);
+      net_->record_power(id_, PowerEvent::kArbitration);
+      net_->record_power(id_, PowerEvent::kCrossbar);
+
+      const auto in_port = static_cast<Port>(in_pi);
+      if (in_port == Port::kLocal) {
+        net_->inj_channel(id_).credits.push(now, Credit{static_cast<VcId>(v)});
+      } else if (ChannelPair* ch = net_->in_channel(id_, in_port)) {
+        ch->credits.push(now, Credit{static_cast<VcId>(v)});
+      }
+
+      --ovc.credits;
+      flit.vc = iv.out_vc;
+      const bool tail = flit.is_tail();
+      transmit(now, out, std::move(flit), /*is_copy=*/false);
+      if (tail) {
+        ovc.allocated = false;
+        iv.state = InputVc::State::kIdle;
+        iv.out_vc = kInvalidVc;
+      }
+      input_used[in_pi] = true;
+      op.sa_rr = (idx + 1) % candidates;
+      break;
+    }
+  }
+}
+
+void Router::stage_vc_allocation() {
+  for (std::size_t in_pi = 0; in_pi < kNumPorts; ++in_pi) {
+    for (auto& iv : input_[in_pi]) {
+      if (iv.state != InputVc::State::kWaitVc) continue;
+      OutputPort& op = output_[port_index(iv.out_port)];
+      const int vcs = cfg_->vcs_per_port;
+      for (int k = 0; k < vcs; ++k) {
+        const int cand = (op.va_rr + k) % vcs;
+        OutputVc& ovc = op.vcs[static_cast<std::size_t>(cand)];
+        if (ovc.allocated) continue;
+        ovc.allocated = true;
+        iv.out_vc = cand;
+        iv.state = InputVc::State::kActive;
+        op.va_rr = (cand + 1) % vcs;
+        break;
+      }
+    }
+  }
+}
+
+void Router::stage_route_computation() {
+  for (std::size_t in_pi = 0; in_pi < kNumPorts; ++in_pi) {
+    for (auto& iv : input_[in_pi]) {
+      if (iv.state == InputVc::State::kIdle && !iv.fifo.empty() &&
+          iv.fifo.front().is_head()) {
+        iv.state = InputVc::State::kRouting;
+      }
+      if (iv.state == InputVc::State::kRouting) {
+        std::array<Port, 2> candidates{};
+        const int n = route_candidates(cfg_->routing, net_->topology(), id_,
+                                       iv.fifo.front().dst, candidates);
+        iv.out_port = candidates[0];
+        if (n > 1) {
+          // Adaptive selection: prefer the candidate with more downstream
+          // buffer credit (a standard congestion-aware tie-break).
+          int best_credits = -1;
+          for (int k = 0; k < n; ++k) {
+            const OutputPort& op = output_[port_index(candidates[static_cast<std::size_t>(k)])];
+            int credits = 0;
+            for (const OutputVc& vc : op.vcs) credits += vc.credits;
+            if (credits > best_credits) {
+              best_credits = credits;
+              iv.out_port = candidates[static_cast<std::size_t>(k)];
+            }
+          }
+        }
+        iv.state = InputVc::State::kWaitVc;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Wire transmission with the mode-specific link-layer policy
+// --------------------------------------------------------------------------
+
+void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
+  const std::size_t pi = port_index(out_port);
+  OutputPort& op = output_[pi];
+  const bool mesh = out_port != Port::kLocal;
+  ChannelPair* ch = mesh ? net_->out_channel(id_, out_port) : &net_->ej_channel(id_);
+  assert(ch != nullptr);
+
+  if (mesh && !is_copy) flit.lsn = op.next_lsn++;
+
+  const bool protect = mesh && ecc_enabled() && !is_copy;
+  if (protect) {
+    flit.ecc = encode_flit_ecc(default_secded(), flit.payload);
+    flit.ecc_valid = true;
+    net_->record_power(id_, PowerEvent::kEccEncode);
+    op.retention.push_back(Retention{flit, 1, false});
+    net_->record_power(id_, PowerEvent::kOutputBufferWrite);
+  }
+  if (is_copy) {
+    Retention* r = find_retention(out_port, flit.id());
+    assert(r != nullptr);  // callers verify before resending
+    if (r != nullptr) ++r->unresolved;
+  }
+
+  // `wire_extra` delays delivery (pipelined codec / stall); `occupancy` is
+  // how long the channel stays unavailable for the next flit.
+  Cycle wire_extra = 0;
+  Cycle occupancy = 1;
+  bool relaxed = false;
+  if (flit.ecc_valid) {
+    // Pipelined SECDED encode+decode adds a cycle of latency per hop but
+    // does not reduce link throughput.
+    wire_extra += 1;
+  }
+  if (mesh && mode_ == OpMode::kMode3) {
+    // One cycle of control signalling plus one stall cycle (Fig. 3(d)):
+    // delivery slips by two cycles and the channel is held for three.
+    wire_extra += 2;
+    occupancy = 3;
+    relaxed = true;
+  }
+
+  const FlitId fid = flit.id();
+  if (mesh) net_->corrupt_on_wire(id_, out_port, flit, relaxed);
+  ch->flits.push_delayed(now, std::move(flit), wire_extra);
+  net_->record_power(id_, PowerEvent::kLinkTraversal);
+  ++counters_.flits_out[pi];
+  op.busy_until = now + occupancy;
+
+  if (mesh && mode_ == OpMode::kMode2 && !is_copy) {
+    // Flit pre-retransmission: schedule the proactive duplicate one idle
+    // cycle after the original (Fig. 3(c)).
+    op.dup_queue.push_back(OutputPort::PendingDup{now + 2, fid});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Retention bookkeeping
+// --------------------------------------------------------------------------
+
+Router::Retention* Router::find_retention(Port p, FlitId id) {
+  auto& retention = output_[port_index(p)].retention;
+  for (auto& r : retention) {
+    if (r.clean.id() == id) return &r;
+  }
+  return nullptr;
+}
+
+void Router::erase_retention(Port p, FlitId id) {
+  auto& retention = output_[port_index(p)].retention;
+  std::erase_if(retention, [&](const Retention& r) { return r.clean.id() == id; });
+}
+
+void Router::drop_queued_copies(Port p, FlitId id) {
+  OutputPort& op = output_[port_index(p)];
+  std::erase_if(op.retx_queue, [&](FlitId f) { return f == id; });
+  std::erase_if(op.dup_queue,
+                [&](const OutputPort::PendingDup& d) { return d.id == id; });
+}
+
+// --------------------------------------------------------------------------
+// Observation
+// --------------------------------------------------------------------------
+
+int Router::occupied_input_vcs() const noexcept {
+  int n = 0;
+  for (const auto& port : input_) {
+    for (const auto& vc : port) {
+      if (!vc.fifo.empty() || vc.state != InputVc::State::kIdle) ++n;
+    }
+  }
+  return n;
+}
+
+int Router::buffered_flits() const noexcept {
+  int n = 0;
+  for (const auto& port : input_) {
+    for (const auto& vc : port) n += static_cast<int>(vc.fifo.size());
+  }
+  return n;
+}
+
+int Router::pending_link_work() const noexcept {
+  int n = 0;
+  for (const auto& op : output_) {
+    n += static_cast<int>(op.retention.size() + op.retx_queue.size() +
+                          op.dup_queue.size());
+  }
+  return n;
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,165 @@
+// Fault-tolerant mesh router (Fig. 2 of the paper).
+//
+// Micro-architecture: input-queued wormhole router with virtual channels,
+// credit-based flow control, X-Y routing and a 3-stage in-router pipeline
+// (RC -> VA -> SA/ST) plus one link cycle, approximating Table II's 4-stage
+// router. Stages are evaluated in reverse pipeline order each cycle so a
+// flit advances at most one stage per cycle without double-buffering.
+//
+// On top of the plain router sits the link-layer fault-tolerance machinery
+// of Section III, controlled by the router's current OpMode:
+//  * mode 0  - flits leave unprotected; errors travel to the destination
+//              where the NI's CRC catches them (end-to-end retransmission).
+//  * mode 1+ - every outgoing flit is SECDED-encoded, a pristine copy is
+//              retained in the output flit buffer until the downstream
+//              decoder ACKs it, and a NACK triggers a link-level resend.
+//  * mode 2  - additionally, each flit is proactively re-sent two cycles
+//              after the original (flit pre-retransmission), hiding the
+//              NACK round-trip when the first copy fails.
+//  * mode 3  - additionally, every transmission stretches over 3 cycles
+//              (control-signal cycle + stall), relaxing the timing path so
+//              the VARIUS error probability collapses to ~0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/channel.h"
+#include "noc/flit.h"
+#include "noc/noc_config.h"
+
+namespace rlftnoc {
+
+class Network;
+
+/// Cumulative per-router activity counters; the control layer samples deltas
+/// per time-step to build the RL state (Table I features).
+struct RouterCounters {
+  std::array<std::uint64_t, kNumPorts> flits_in{};   ///< accepted per input port
+  std::array<std::uint64_t, kNumPorts> flits_out{};  ///< transmitted per output port
+  std::array<std::uint64_t, kNumPorts> nacks_received{};  ///< NACKs back at our outputs
+  std::array<std::uint64_t, kNumPorts> nacks_sent{};      ///< NACKs we issued at inputs
+  std::array<std::uint64_t, kNumPorts> acks_received{};
+  std::uint64_t hop_retransmissions = 0;  ///< link-level re-sends (upon NACK)
+  std::uint64_t preretx_duplicates = 0;   ///< mode-2 proactive duplicates sent
+  std::uint64_t dup_discards = 0;         ///< duplicates dropped at our inputs
+  std::uint64_t ecc_corrections = 0;      ///< single-bit fixes by our decoders
+  std::uint64_t ecc_uncorrectable = 0;    ///< double-bit detections at inputs
+};
+
+/// One mesh router.
+class Router {
+ public:
+  Router(NodeId id, const NocConfig* cfg, Network* net);
+
+  NodeId id() const noexcept { return id_; }
+
+  /// Current fault-tolerant operation mode (Section III); applies to all of
+  /// this router's outgoing ECC links, per the per-router controller.
+  OpMode mode() const noexcept { return mode_; }
+  void set_mode(OpMode m) noexcept { mode_ = m; }
+
+  /// Phase A: drain matured flits / credits / ACKs from incoming lanes.
+  void receive(Cycle now);
+
+  /// Phase B: run SA -> VA -> RC and place outgoing flits on the wires.
+  void execute(Cycle now);
+
+  /// Number of occupied input VCs (RL state feature 1).
+  int occupied_input_vcs() const noexcept;
+
+  /// Total flits buffered across all input VCs (diagnostics).
+  int buffered_flits() const noexcept;
+
+  /// Pending ARQ work: retention entries + queued resends (drain check).
+  int pending_link_work() const noexcept;
+
+  const RouterCounters& counters() const noexcept { return counters_; }
+
+ private:
+  /// Per-input-VC wormhole state machine.
+  struct InputVc {
+    std::deque<Flit> fifo;
+    enum class State : std::uint8_t { kIdle, kRouting, kWaitVc, kActive } state =
+        State::kIdle;
+    Port out_port = Port::kLocal;
+    VcId out_vc = kInvalidVc;
+  };
+
+  /// Downstream-buffer credit tracking for one output VC.
+  struct OutputVc {
+    bool allocated = false;
+    int credits = 0;
+  };
+
+  /// Retained copy of a transmitted flit awaiting link-level ACK.
+  struct Retention {
+    Flit clean;          ///< pristine encoded flit (payload + check bits)
+    int unresolved = 0;  ///< copies on the wire without a response yet
+    bool resend_queued = false;
+  };
+
+  struct OutputPort {
+    std::vector<OutputVc> vcs;
+    Cycle busy_until = 0;  ///< first cycle the channel is free again
+    std::vector<Retention> retention;
+    std::deque<FlitId> retx_queue;  ///< NACK-triggered resends
+    struct PendingDup {
+      Cycle earliest;
+      FlitId id;
+    };
+    std::deque<PendingDup> dup_queue;  ///< mode-2 proactive duplicates
+    std::uint64_t next_lsn = 0;        ///< link sequence stamp for new flits
+    int sa_rr = 0;                     ///< round-robin pointer for SA
+    int va_rr = 0;                     ///< rotating start for output-VC scan
+  };
+
+  /// Receiver-side ARQ bookkeeping for one input port: the link delivers a
+  /// single in-order stream (go-back-N), so one expected sequence number is
+  /// the whole state.
+  struct InputArq {
+    std::uint64_t expected_lsn = 0;
+  };
+
+  // -- receive-side helpers --
+  void handle_incoming_flit(Cycle now, Port in_port, Flit flit);
+  void accept_flit(Port in_port, Flit&& flit);
+  void handle_ack(Port out_port, const AckMsg& ack);
+  void send_link_response(Cycle now, Port in_port, FlitId id, VcId vc, bool nack);
+
+  // -- execute-side stages --
+  void stage_link_resend(Cycle now);  ///< NACK retx + mode-2 duplicates
+  void stage_switch_allocation(Cycle now);
+  void stage_vc_allocation();
+  void stage_route_computation();
+
+  /// Places `flit` on the wire through `out_port`, applying the current
+  /// mode's ECC encode / retention / stall / duplicate policy.
+  /// `is_copy` marks link-level re-sends and duplicates (retention entry
+  /// already exists). Updates port busy time.
+  void transmit(Cycle now, Port out_port, Flit flit, bool is_copy);
+
+  Retention* find_retention(Port p, FlitId id);
+  void erase_retention(Port p, FlitId id);
+  void drop_queued_copies(Port p, FlitId id);
+
+  bool ecc_enabled() const noexcept { return mode_ != OpMode::kMode0; }
+
+  InputVc& ivc(Port p, VcId v) { return input_[port_index(p)][static_cast<std::size_t>(v)]; }
+
+  NodeId id_;
+  const NocConfig* cfg_;
+  Network* net_;
+  OpMode mode_ = OpMode::kMode0;
+
+  std::array<std::vector<InputVc>, kNumPorts> input_;
+  std::array<OutputPort, kNumPorts> output_;
+  std::array<InputArq, kNumPorts> input_arq_;
+  RouterCounters counters_;
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,60 @@
+#include "noc/routing.h"
+
+#include <stdexcept>
+
+namespace rlftnoc {
+
+RoutingAlgorithm routing_from_name(const std::string& name) {
+  if (name == "xy") return RoutingAlgorithm::kXY;
+  if (name == "yx") return RoutingAlgorithm::kYX;
+  if (name == "westfirst") return RoutingAlgorithm::kWestFirst;
+  throw std::invalid_argument("unknown routing algorithm: " + name);
+}
+
+int route_candidates(RoutingAlgorithm alg, const MeshTopology& topo, NodeId cur,
+                     NodeId dst, std::array<Port, 2>& candidates) {
+  const Coord c = topo.coord(cur);
+  const Coord d = topo.coord(dst);
+  if (c == d) {
+    candidates[0] = Port::kLocal;
+    return 1;
+  }
+
+  switch (alg) {
+    case RoutingAlgorithm::kXY:
+      candidates[0] = topo.xy_route(cur, dst);
+      return 1;
+
+    case RoutingAlgorithm::kYX:
+      if (c.y < d.y) {
+        candidates[0] = Port::kNorth;
+      } else if (c.y > d.y) {
+        candidates[0] = Port::kSouth;
+      } else if (c.x < d.x) {
+        candidates[0] = Port::kEast;
+      } else {
+        candidates[0] = Port::kWest;
+      }
+      return 1;
+
+    case RoutingAlgorithm::kWestFirst: {
+      // Turn model: all westward movement happens first (no turn into West
+      // is ever taken later), which breaks the cyclic channel dependencies.
+      if (c.x > d.x) {
+        candidates[0] = Port::kWest;
+        return 1;
+      }
+      int n = 0;
+      if (c.x < d.x) candidates[n++] = Port::kEast;
+      if (c.y < d.y) candidates[n++] = Port::kNorth;
+      if (c.y > d.y) candidates[n++] = Port::kSouth;
+      // At most two minimal productive directions exist (E plus one of N/S,
+      // or a single one); n is 1 or 2 here.
+      return n;
+    }
+  }
+  candidates[0] = topo.xy_route(cur, dst);
+  return 1;
+}
+
+}  // namespace rlftnoc

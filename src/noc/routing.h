@@ -1,0 +1,32 @@
+// Routing algorithms for the 2D mesh.
+//
+// The paper evaluates X-Y routing (Table II); this module generalizes the
+// route computation stage so the substrate can also run Y-X and the
+// west-first partially adaptive turn model (Glass & Ni) — all deadlock-free
+// on a mesh with wormhole flow control, which the ARQ link layer requires.
+//
+// Deterministic algorithms yield one candidate; west-first may yield up to
+// two minimal candidates and the router breaks the tie by downstream credit
+// availability (congestion-aware selection).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "noc/topology.h"
+
+namespace rlftnoc {
+
+/// Parses a routing name ("xy" | "yx" | "westfirst"); throws
+/// std::invalid_argument otherwise.
+RoutingAlgorithm routing_from_name(const std::string& name);
+
+/// Minimal route candidates at `cur` toward `dst` under `alg`, in
+/// preference order. Returns the number of candidates written (1 or 2);
+/// candidates[0] == kLocal means cur == dst.
+int route_candidates(RoutingAlgorithm alg, const MeshTopology& topo, NodeId cur,
+                     NodeId dst, std::array<Port, 2>& candidates);
+
+}  // namespace rlftnoc

@@ -1,0 +1,68 @@
+// 2D-mesh topology helpers: coordinate mapping, neighbours, and the
+// dimension-ordered (X-Y) routing function from Table II.
+#pragma once
+
+#include <cstdlib>
+
+#include "common/types.h"
+#include "noc/noc_config.h"
+
+namespace rlftnoc {
+
+/// Coordinate <-> linear-id mapping for a W x H mesh (row-major, x fastest).
+class MeshTopology {
+ public:
+  MeshTopology(int width, int height) noexcept : width_(width), height_(height) {}
+  explicit MeshTopology(const NocConfig& cfg) noexcept
+      : MeshTopology(cfg.mesh_width, cfg.mesh_height) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int num_nodes() const noexcept { return width_ * height_; }
+
+  Coord coord(NodeId n) const noexcept {
+    return Coord{n % width_, n / width_};
+  }
+  NodeId node(Coord c) const noexcept { return c.y * width_ + c.x; }
+  NodeId node(int x, int y) const noexcept { return y * width_ + x; }
+
+  bool valid(NodeId n) const noexcept { return n >= 0 && n < num_nodes(); }
+
+  /// Neighbour through port `p`, or kInvalidNode at a mesh edge / for Local.
+  NodeId neighbor(NodeId n, Port p) const noexcept {
+    const Coord c = coord(n);
+    switch (p) {
+      case Port::kNorth: return c.y + 1 < height_ ? node(c.x, c.y + 1) : kInvalidNode;
+      case Port::kSouth: return c.y > 0 ? node(c.x, c.y - 1) : kInvalidNode;
+      case Port::kEast: return c.x + 1 < width_ ? node(c.x + 1, c.y) : kInvalidNode;
+      case Port::kWest: return c.x > 0 ? node(c.x - 1, c.y) : kInvalidNode;
+      case Port::kLocal: return kInvalidNode;
+    }
+    return kInvalidNode;
+  }
+
+  /// X-Y dimension-ordered routing: the output port a flit at `cur` headed
+  /// for `dst` must take (kLocal when cur == dst). Deadlock-free on a mesh.
+  Port xy_route(NodeId cur, NodeId dst) const noexcept {
+    const Coord c = coord(cur);
+    const Coord d = coord(dst);
+    if (c.x < d.x) return Port::kEast;
+    if (c.x > d.x) return Port::kWest;
+    if (c.y < d.y) return Port::kNorth;
+    if (c.y > d.y) return Port::kSouth;
+    return Port::kLocal;
+  }
+
+  /// Manhattan hop distance.
+  int distance(NodeId a, NodeId b) const noexcept {
+    const Coord ca = coord(a);
+    const Coord cb = coord(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+ private:
+  int width_;
+  int height_;
+};
+
+}  // namespace rlftnoc

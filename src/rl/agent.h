@@ -1,0 +1,94 @@
+// Tabular Q-learning agent (Watkins), Section IV of the paper.
+//
+// One agent per router. Each control time-step it selects an operation mode
+// epsilon-greedily from its Q-table and, when the next state and reward are
+// observed, applies the temporal-difference rule of Eq. (2):
+//
+//     Q(s,a) <- (1-alpha) Q(s,a) + alpha [ r + gamma * max_a' Q(s',a') ]
+//
+// Defaults follow Section IV.C: alpha = 0.1, epsilon = 0.1, Q init 0.
+// The paper's OCR reads "gamma is set to 5"; a discount must lie in [0,1],
+// so we take it as 0.5 (configurable).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+#include "rl/qtable.h"
+
+namespace rlftnoc {
+
+/// Q-learning hyper-parameters.
+struct QLearningParams {
+  double alpha = 0.1;    ///< learning rate
+  /// Discount rate. The mode-control task is nearly a contextual bandit
+  /// (the action barely steers the successor state), and bootstrapping
+  /// through max Q(s') lets actions that *mask* state features (mode 2
+  /// suppresses the NACK bins) inherit the value of cool idle states; a
+  /// small gamma keeps that aliasing bias negligible. The paper's value
+  /// (OCR reads "5", presumably 0.5) is exercised in bench_ablation_rl.
+  double gamma = 0.2;
+  double epsilon = 0.1;  ///< exploration probability
+  /// Initial Q-value for unvisited rows. Set above the best reachable
+  /// return so every action gets tried once per state (see QTable); 0
+  /// reproduces the paper's literal initialization.
+  double optimistic_init = 5.0;
+  /// Pessimism coefficient of the greedy rule (see QTable::argmax); 0
+  /// reproduces the plain argmax.
+  double confidence_penalty = 0.4;
+  /// Hardware-cost tie-breaker of the greedy rule (see QTable::argmax).
+  double action_cost_prior = 0.05;
+};
+
+class QLearningAgent {
+ public:
+  QLearningAgent(QLearningParams params, std::uint64_t seed, std::string_view tag)
+      : params_(params), rng_(seed, tag), table_(params.optimistic_init) {}
+
+  /// Epsilon-greedy action selection for state `s`.
+  int select_action(const DiscreteState& s) {
+    if (exploring_ && rng_.bernoulli(params_.epsilon))
+      return static_cast<int>(rng_.next_below(kNumOpModes));
+    return table_.argmax(s, params_.confidence_penalty, params_.action_cost_prior);
+  }
+
+  /// Greedy (evaluation) action.
+  int greedy_action(const DiscreteState& s) const {
+    return table_.argmax(s, params_.confidence_penalty, params_.action_cost_prior);
+  }
+
+  /// Temporal-difference update for transition (s, a) -> (s2) with reward r.
+  ///
+  /// The effective learning rate is max(alpha, 1/n) for the n-th visit of
+  /// (s, a): early visits take large corrective steps (washing out the
+  /// optimistic initialization quickly), then the rate settles at the
+  /// paper's constant alpha.
+  void update(const DiscreteState& s, int a, double r, const DiscreteState& s2) {
+    QTable::Row& row = table_.row(s);
+    const auto ai = static_cast<std::size_t>(a);
+    const std::uint32_t n = ++row.visits[ai];
+    const double rate = std::max(params_.alpha, 1.0 / static_cast<double>(n));
+    const double target = r + params_.gamma * table_.max_q(s2);
+    row.q[ai] = (1.0 - rate) * row.q[ai] + rate * target;
+  }
+
+  /// Enables/disables exploration (testing phase may freeze the policy).
+  void set_exploring(bool on) noexcept { exploring_ = on; }
+  bool exploring() const noexcept { return exploring_; }
+
+  const QLearningParams& params() const noexcept { return params_; }
+  void set_params(const QLearningParams& p) noexcept { params_ = p; }
+
+  const QTable& table() const noexcept { return table_; }
+  QTable& table() noexcept { return table_; }
+
+ private:
+  QLearningParams params_;
+  Rng rng_;
+  QTable table_;
+  bool exploring_ = true;
+};
+
+}  // namespace rlftnoc

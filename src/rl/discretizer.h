@@ -1,0 +1,62 @@
+// Feature discretization for the tabular Q-learning state space.
+//
+// Table I's continuous features are binned "evenly in 5 bins or less ... in
+// linear space (e.g. link utilization) or log-space (e.g. NACK rate)".
+// LinearBins and LogBins implement those two schemes; the control layer
+// composes them into the per-router state vector.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace rlftnoc {
+
+/// Evenly spaced bins over [lo, hi]; values outside clamp to the end bins.
+class LinearBins {
+ public:
+  constexpr LinearBins(double lo, double hi, int bins) noexcept
+      : lo_(lo), hi_(hi), bins_(bins) {}
+
+  int bins() const noexcept { return bins_; }
+
+  std::uint8_t bin(double x) const noexcept {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return static_cast<std::uint8_t>(bins_ - 1);
+    const double frac = (x - lo_) / (hi_ - lo_);
+    const int b = static_cast<int>(frac * bins_);
+    return static_cast<std::uint8_t>(std::min(b, bins_ - 1));
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  int bins_;
+};
+
+/// Bins evenly spaced in log10 over [lo, hi]; zero / sub-lo values map to
+/// bin 0. Suited to rate-like features spanning decades (NACK rate).
+class LogBins {
+ public:
+  LogBins(double lo, double hi, int bins) noexcept
+      : log_lo_(std::log10(lo)), log_hi_(std::log10(hi)), bins_(bins) {}
+
+  int bins() const noexcept { return bins_; }
+
+  std::uint8_t bin(double x) const noexcept {
+    if (x <= 0.0) return 0;
+    const double lx = std::log10(x);
+    if (lx <= log_lo_) return 0;
+    if (lx >= log_hi_) return static_cast<std::uint8_t>(bins_ - 1);
+    const double frac = (lx - log_lo_) / (log_hi_ - log_lo_);
+    const int b = static_cast<int>(frac * bins_);
+    return static_cast<std::uint8_t>(std::min(b, bins_ - 1));
+  }
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  int bins_;
+};
+
+}  // namespace rlftnoc

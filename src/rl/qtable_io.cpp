@@ -1,0 +1,102 @@
+#include "rl/qtable_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlftnoc {
+namespace {
+
+constexpr const char* kMagic = "# rlftnoc qtable v1";
+
+}  // namespace
+
+void write_qtables(std::ostream& out, const std::vector<const QTable*>& tables) {
+  out << kMagic << '\n';
+  out << "agents " << tables.size() << '\n';
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    const QTable& t = *tables[i];
+    std::size_t features = 0;
+    if (t.begin() != t.end()) features = t.begin()->first.size();
+    out << "agent " << i << " rows " << t.size() << " features " << features
+        << " init " << t.init_value() << '\n';
+    for (const auto& [state, row] : t) {
+      for (const std::uint8_t b : state) out << static_cast<int>(b) << ' ';
+      out << '|';
+      for (const double q : row.q) out << ' ' << q;
+      out << " |";
+      for (const std::uint32_t n : row.visits) out << ' ' << n;
+      out << '\n';
+    }
+  }
+}
+
+void write_qtables_file(const std::string& path,
+                        const std::vector<const QTable*>& tables) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("qtable_io: cannot write " + path);
+  write_qtables(out, tables);
+}
+
+void read_qtables(std::istream& in, const std::vector<QTable*>& tables) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw std::runtime_error("qtable_io: bad magic");
+  std::size_t agents = 0;
+  {
+    std::string word;
+    if (!(in >> word >> agents) || word != "agents")
+      throw std::runtime_error("qtable_io: missing agent count");
+  }
+  if (agents != tables.size())
+    throw std::runtime_error("qtable_io: agent count mismatch (file " +
+                             std::to_string(agents) + ", policy " +
+                             std::to_string(tables.size()) + ")");
+
+  for (std::size_t i = 0; i < agents; ++i) {
+    std::string word;
+    std::size_t idx = 0;
+    std::size_t rows = 0;
+    std::size_t features = 0;
+    double init = 0.0;
+    if (!(in >> word >> idx) || word != "agent" || idx != i)
+      throw std::runtime_error("qtable_io: bad agent header");
+    if (!(in >> word >> rows) || word != "rows")
+      throw std::runtime_error("qtable_io: bad rows field");
+    if (!(in >> word >> features) || word != "features")
+      throw std::runtime_error("qtable_io: bad features field");
+    if (!(in >> word >> init) || word != "init")
+      throw std::runtime_error("qtable_io: bad init field");
+
+    QTable fresh(init);
+    for (std::size_t r = 0; r < rows; ++r) {
+      DiscreteState state(features);
+      for (std::size_t f = 0; f < features; ++f) {
+        int bin = 0;
+        if (!(in >> bin)) throw std::runtime_error("qtable_io: truncated state");
+        state[f] = static_cast<std::uint8_t>(bin);
+      }
+      char bar = 0;
+      if (!(in >> bar) || bar != '|')
+        throw std::runtime_error("qtable_io: missing q separator");
+      QTable::Row& row = fresh.row(state);
+      for (double& q : row.q) {
+        if (!(in >> q)) throw std::runtime_error("qtable_io: truncated q row");
+      }
+      if (!(in >> bar) || bar != '|')
+        throw std::runtime_error("qtable_io: missing visit separator");
+      for (std::uint32_t& n : row.visits) {
+        if (!(in >> n)) throw std::runtime_error("qtable_io: truncated visits");
+      }
+    }
+    *tables[i] = std::move(fresh);
+  }
+}
+
+void read_qtables_file(const std::string& path, const std::vector<QTable*>& tables) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("qtable_io: cannot open " + path);
+  read_qtables(in, tables);
+}
+
+}  // namespace rlftnoc

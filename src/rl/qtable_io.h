@@ -1,0 +1,31 @@
+// Q-table persistence: save a trained policy after pre-training and load it
+// in later runs, skipping the (expensive) learning phases. Text format, one
+// row per visited state:
+//
+//   # rlftnoc qtable v1
+//   agents <N>
+//   agent <i> rows <R> features <F>
+//   <bin...> | <q0 q1 q2 q3> | <n0 n1 n2 n3>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rl/qtable.h"
+
+namespace rlftnoc {
+
+/// Serializes a set of Q-tables (one per agent; a shared-table policy saves
+/// a single agent).
+void write_qtables(std::ostream& out, const std::vector<const QTable*>& tables);
+void write_qtables_file(const std::string& path,
+                        const std::vector<const QTable*>& tables);
+
+/// Loads tables saved by write_qtables into `tables` (sizes must match).
+/// Existing rows are replaced wholesale. Throws std::runtime_error on
+/// malformed input or an agent-count mismatch.
+void read_qtables(std::istream& in, const std::vector<QTable*>& tables);
+void read_qtables_file(const std::string& path, const std::vector<QTable*>& tables);
+
+}  // namespace rlftnoc

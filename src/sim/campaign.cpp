@@ -1,0 +1,101 @@
+#include "sim/campaign.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+
+namespace rlftnoc {
+
+CampaignResults run_campaign(const SimOptions& base,
+                             const std::vector<std::string>& benchmarks,
+                             const std::vector<PolicyKind>& policies,
+                             std::uint64_t packet_budget_scale_pct) {
+  CampaignResults out;
+  out.benchmarks = benchmarks;
+  out.policies = policies;
+  out.results.resize(benchmarks.size());
+
+  const MeshTopology topo(base.noc);
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    ParsecProfile profile = parsec_profile(benchmarks[b]);
+    profile.total_packets =
+        profile.total_packets * packet_budget_scale_pct / 100;
+    for (const PolicyKind pol : policies) {
+      SimOptions opt = base;
+      opt.policy = pol;
+      // The warm-up consumes the benchmark's own packet budget; scale it
+      // with the budget so a reduced campaign still leaves the bulk of the
+      // trace for the measured phase.
+      opt.warmup_cycles = opt.warmup_cycles * packet_budget_scale_pct / 100;
+      std::fprintf(stderr, "[campaign] %-13s %-8s ...", profile.name.c_str(),
+                   policy_name(pol));
+      std::fflush(stderr);
+      Simulator sim(opt);
+      ParsecTraffic traffic(topo, profile, opt.seed);
+      SimResult res = sim.run(traffic);
+      std::fprintf(stderr, " exec=%llu lat=%.1f retx=%llu\n",
+                   static_cast<unsigned long long>(res.execution_cycles),
+                   res.avg_packet_latency,
+                   static_cast<unsigned long long>(res.retransmitted_flits));
+      out.results[b].push_back(std::move(res));
+    }
+  }
+  return out;
+}
+
+void print_normalized_table(std::ostream& out, const CampaignResults& campaign,
+                            const std::string& title, const MetricFn& metric,
+                            bool higher_is_better) {
+  out << "\n== " << title << " (normalized to "
+      << policy_name(campaign.policies.front()) << ") ==\n";
+  out << std::left << std::setw(14) << "benchmark";
+  for (const PolicyKind p : campaign.policies)
+    out << std::right << std::setw(10) << policy_name(p);
+  out << '\n';
+
+  std::vector<double> geo(campaign.policies.size(), 0.0);
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < campaign.benchmarks.size(); ++b) {
+    const double base = metric(campaign.at(b, 0));
+    if (base <= 0.0) continue;
+    ++counted;
+    out << std::left << std::setw(14) << campaign.benchmarks[b];
+    for (std::size_t p = 0; p < campaign.policies.size(); ++p) {
+      const double norm = metric(campaign.at(b, p)) / base;
+      geo[p] += std::log(std::max(norm, 1e-12));
+      out << std::right << std::setw(10) << std::fixed << std::setprecision(3)
+          << norm;
+    }
+    out << '\n';
+  }
+  out << std::left << std::setw(14) << "geomean";
+  for (std::size_t p = 0; p < campaign.policies.size(); ++p) {
+    const double g = counted ? std::exp(geo[p] / static_cast<double>(counted)) : 0.0;
+    out << std::right << std::setw(10) << std::fixed << std::setprecision(3) << g;
+  }
+  out << '\n';
+  // Improvement summary for the last (proposed) column vs the baseline.
+  if (counted > 0 && campaign.policies.size() > 1) {
+    const double g_last =
+        std::exp(geo.back() / static_cast<double>(counted));
+    const double delta = higher_is_better ? (g_last - 1.0) * 100.0
+                                          : (1.0 - g_last) * 100.0;
+    out << "-- " << policy_name(campaign.policies.back())
+        << (higher_is_better ? " improvement over " : " reduction vs ")
+        << policy_name(campaign.policies.front()) << ": " << std::setprecision(1)
+        << delta << "%\n";
+  }
+}
+
+double metric_retransmissions(const SimResult& r) {
+  return static_cast<double>(r.retransmitted_flits);
+}
+double metric_exec_speedup_inverse(const SimResult& r) {
+  return static_cast<double>(r.execution_cycles);
+}
+double metric_latency(const SimResult& r) { return r.avg_packet_latency; }
+double metric_energy_efficiency(const SimResult& r) { return r.energy_efficiency; }
+double metric_dynamic_power(const SimResult& r) { return r.avg_dynamic_power_w; }
+
+}  // namespace rlftnoc

@@ -1,0 +1,52 @@
+// Experiment campaign runner: executes a benchmark suite across policies
+// and renders the normalized tables behind Figs. 6-10.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "traffic/parsec.h"
+
+namespace rlftnoc {
+
+/// One grid of results: row = benchmark, column = policy.
+struct CampaignResults {
+  std::vector<std::string> benchmarks;
+  std::vector<PolicyKind> policies;
+  /// results[b][p] aligned with the vectors above.
+  std::vector<std::vector<SimResult>> results;
+
+  const SimResult& at(std::size_t bench, std::size_t pol) const {
+    return results.at(bench).at(pol);
+  }
+};
+
+/// Extracts the metric a figure plots from one run.
+using MetricFn = std::function<double(const SimResult&)>;
+
+/// Runs every (benchmark, policy) pair. `tune` lets callers adjust the
+/// options per run (seed offsets etc.). Progress lines go to stderr.
+CampaignResults run_campaign(const SimOptions& base,
+                             const std::vector<std::string>& benchmarks,
+                             const std::vector<PolicyKind>& policies,
+                             std::uint64_t packet_budget_scale_pct = 100);
+
+/// Prints a per-benchmark table of `metric`, normalized to the first policy
+/// column (the paper normalizes everything to the CRC baseline), plus the
+/// geometric-mean row. `higher_is_better` flips the improvement arithmetic
+/// in the summary line.
+void print_normalized_table(std::ostream& out, const CampaignResults& campaign,
+                            const std::string& title, const MetricFn& metric,
+                            bool higher_is_better);
+
+/// Convenience metric extractors matching the paper's figures.
+double metric_retransmissions(const SimResult& r);
+double metric_exec_speedup_inverse(const SimResult& r);  ///< execution cycles
+double metric_latency(const SimResult& r);
+double metric_energy_efficiency(const SimResult& r);
+double metric_dynamic_power(const SimResult& r);
+
+}  // namespace rlftnoc

@@ -1,0 +1,92 @@
+#include "sim/options_io.h"
+
+namespace rlftnoc {
+
+PolicyKind policy_from_string(const std::string& s) {
+  if (s == "crc" || s == "CRC") return PolicyKind::kStaticCrc;
+  if (s == "arq" || s == "ARQ+ECC") return PolicyKind::kStaticArqEcc;
+  if (s == "dt" || s == "DT") return PolicyKind::kDecisionTree;
+  if (s == "rl" || s == "RL") return PolicyKind::kRl;
+  if (s == "oracle" || s == "Oracle") return PolicyKind::kOracle;
+  throw ConfigError("unknown policy '" + s + "' (crc|arq|dt|rl|oracle)");
+}
+
+SimOptions sim_options_from_config(const Config& cfg) {
+  SimOptions opt;
+  opt.noc = NocConfig::from_config(cfg);
+  if (cfg.contains("policy")) opt.policy = policy_from_string(cfg.get_string("policy"));
+  opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  opt.error_scale = cfg.get_double("error_scale", opt.error_scale);
+  opt.pretrain_cycles = static_cast<Cycle>(
+      cfg.get_int("pretrain_cycles", static_cast<std::int64_t>(opt.pretrain_cycles)));
+  opt.warmup_cycles = static_cast<Cycle>(
+      cfg.get_int("warmup_cycles", static_cast<std::int64_t>(opt.warmup_cycles)));
+  opt.max_measure_cycles = static_cast<Cycle>(cfg.get_int(
+      "max_measure_cycles", static_cast<std::int64_t>(opt.max_measure_cycles)));
+  opt.freeze_rl_on_measure =
+      cfg.get_bool("freeze_rl_on_measure", opt.freeze_rl_on_measure);
+  opt.per_port_state = cfg.get_bool("per_port_state", opt.per_port_state);
+  opt.rl_shared_table = cfg.get_bool("rl_shared_table", opt.rl_shared_table);
+
+  // rl.*
+  opt.rl.alpha = cfg.get_double("rl.alpha", opt.rl.alpha);
+  opt.rl.gamma = cfg.get_double("rl.gamma", opt.rl.gamma);
+  opt.rl.epsilon = cfg.get_double("rl.epsilon", opt.rl.epsilon);
+  opt.rl.optimistic_init = cfg.get_double("rl.optimistic_init", opt.rl.optimistic_init);
+  opt.rl.confidence_penalty =
+      cfg.get_double("rl.confidence_penalty", opt.rl.confidence_penalty);
+  opt.rl.action_cost_prior =
+      cfg.get_double("rl.action_cost_prior", opt.rl.action_cost_prior);
+
+  // ctrl.*
+  opt.controller.step_cycles = static_cast<Cycle>(cfg.get_int(
+      "ctrl.step_cycles",
+      static_cast<std::int64_t>(opt.controller.step_cycles)));
+  if (cfg.contains("step_cycles")) {  // legacy spelling used by the CLI docs
+    opt.controller.step_cycles =
+        static_cast<Cycle>(cfg.get_int("step_cycles"));
+  }
+  opt.controller.voltage = cfg.get_double("ctrl.voltage", opt.controller.voltage);
+  opt.controller.faults_enabled =
+      cfg.get_bool("ctrl.faults_enabled", opt.controller.faults_enabled);
+  opt.controller.core_base_w =
+      cfg.get_double("ctrl.core_base_w", opt.controller.core_base_w);
+  opt.controller.core_per_flit_w =
+      cfg.get_double("ctrl.core_per_flit_w", opt.controller.core_per_flit_w);
+  opt.controller.reward_energy_weight = cfg.get_double(
+      "ctrl.reward_energy_weight", opt.controller.reward_energy_weight);
+  opt.controller.feature_ema_alpha =
+      cfg.get_double("ctrl.feature_ema_alpha", opt.controller.feature_ema_alpha);
+
+  // varius.*
+  opt.varius.nominal_delay =
+      cfg.get_double("varius.nominal_delay", opt.varius.nominal_delay);
+  opt.varius.temp_coeff = cfg.get_double("varius.temp_coeff", opt.varius.temp_coeff);
+  opt.varius.util_coeff = cfg.get_double("varius.util_coeff", opt.varius.util_coeff);
+  opt.varius.sigma = cfg.get_double("varius.sigma", opt.varius.sigma);
+  opt.varius.droop_rate = cfg.get_double("varius.droop_rate", opt.varius.droop_rate);
+  opt.varius.droop_scale =
+      cfg.get_double("varius.droop_scale", opt.varius.droop_scale);
+  opt.varius.droop_len_traversals = static_cast<int>(cfg.get_int(
+      "varius.droop_len", opt.varius.droop_len_traversals));
+
+  // thermal.*
+  opt.thermal.ambient_c = cfg.get_double("thermal.ambient_c", opt.thermal.ambient_c);
+  opt.thermal.r_ambient = cfg.get_double("thermal.r_ambient", opt.thermal.r_ambient);
+  opt.thermal.r_lateral = cfg.get_double("thermal.r_lateral", opt.thermal.r_lateral);
+  opt.thermal.max_temp_c = cfg.get_double("thermal.max_temp_c", opt.thermal.max_temp_c);
+
+  // power.*
+  opt.power.leak_w_at_ref = cfg.get_double("power.leak_w_at_ref", opt.power.leak_w_at_ref);
+  opt.power.leak_temp_coeff =
+      cfg.get_double("power.leak_temp_coeff", opt.power.leak_temp_coeff);
+
+  // thresholds.*
+  opt.thresholds.low = cfg.get_double("thresholds.low", opt.thresholds.low);
+  opt.thresholds.medium = cfg.get_double("thresholds.medium", opt.thresholds.medium);
+  opt.thresholds.high = cfg.get_double("thresholds.high", opt.thresholds.high);
+
+  return opt;
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,120 @@
+#include "sim/results_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rlftnoc {
+namespace {
+
+constexpr const char* kHeader =
+    "benchmark\tpolicy\texec_cycles\tdrained\tavg_latency\tpackets_injected\t"
+    "packets_delivered\tflits_delivered\tretx_total\tretx_e2e\tretx_hop\t"
+    "dup_flits\tcrc_failures\tdyn_pj\tleak_pj\ttotal_pj\tefficiency\t"
+    "dyn_power_w\ttotal_power_w\tavg_temp\tmax_temp\tmode0\tmode1\tmode2\t"
+    "mode3\trl_entries\tdt_accuracy";
+
+PolicyKind policy_from_name(const std::string& name) {
+  for (const PolicyKind k :
+       {PolicyKind::kStaticCrc, PolicyKind::kStaticArqEcc, PolicyKind::kDecisionTree,
+        PolicyKind::kRl, PolicyKind::kOracle}) {
+    if (name == policy_name(k)) return k;
+  }
+  throw std::runtime_error("results_io: unknown policy name: " + name);
+}
+
+}  // namespace
+
+void write_results(std::ostream& out, const CampaignResults& results) {
+  out << kHeader << '\n';
+  for (std::size_t b = 0; b < results.benchmarks.size(); ++b) {
+    for (std::size_t p = 0; p < results.policies.size(); ++p) {
+      const SimResult& r = results.at(b, p);
+      out << results.benchmarks[b] << '\t' << policy_name(results.policies[p])
+          << '\t' << r.execution_cycles << '\t' << (r.drained ? 1 : 0) << '\t'
+          << r.avg_packet_latency << '\t' << r.packets_injected << '\t'
+          << r.packets_delivered << '\t' << r.flits_delivered << '\t'
+          << r.retransmitted_flits << '\t' << r.retx_flits_e2e << '\t'
+          << r.retx_flits_hop << '\t' << r.dup_flits << '\t'
+          << r.crc_packet_failures << '\t' << r.dynamic_energy_pj << '\t'
+          << r.leakage_energy_pj << '\t' << r.total_energy_pj << '\t'
+          << r.energy_efficiency << '\t' << r.avg_dynamic_power_w << '\t'
+          << r.avg_total_power_w << '\t' << r.avg_temperature_c << '\t'
+          << r.max_temperature_c << '\t' << r.mode_fraction[0] << '\t'
+          << r.mode_fraction[1] << '\t' << r.mode_fraction[2] << '\t'
+          << r.mode_fraction[3] << '\t' << r.rl_table_entries << '\t'
+          << r.dt_training_accuracy << '\n';
+    }
+  }
+}
+
+void write_results_file(const std::string& path, const CampaignResults& results) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("results_io: cannot write " + path);
+  write_results(out, results);
+}
+
+CampaignResults read_results(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header != kHeader)
+    throw std::runtime_error("results_io: header mismatch (stale cache?)");
+
+  CampaignResults out;
+  std::map<std::string, std::size_t> bench_index;
+  std::map<std::string, std::size_t> policy_index;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string bench;
+    std::string policy;
+    SimResult r;
+    int drained = 0;
+    if (!(std::getline(ls, bench, '\t') && std::getline(ls, policy, '\t')))
+      throw std::runtime_error("results_io: malformed row");
+    r.workload = bench;
+    r.policy = policy;
+    if (!(ls >> r.execution_cycles >> drained >> r.avg_packet_latency >>
+          r.packets_injected >> r.packets_delivered >> r.flits_delivered >>
+          r.retransmitted_flits >> r.retx_flits_e2e >> r.retx_flits_hop >>
+          r.dup_flits >> r.crc_packet_failures >> r.dynamic_energy_pj >>
+          r.leakage_energy_pj >> r.total_energy_pj >> r.energy_efficiency >>
+          r.avg_dynamic_power_w >> r.avg_total_power_w >> r.avg_temperature_c >>
+          r.max_temperature_c >> r.mode_fraction[0] >> r.mode_fraction[1] >>
+          r.mode_fraction[2] >> r.mode_fraction[3] >> r.rl_table_entries >>
+          r.dt_training_accuracy))
+      throw std::runtime_error("results_io: malformed row values");
+    r.drained = drained != 0;
+
+    if (!bench_index.count(bench)) {
+      bench_index[bench] = out.benchmarks.size();
+      out.benchmarks.push_back(bench);
+      out.results.emplace_back();
+    }
+    if (!policy_index.count(policy)) {
+      policy_index[policy] = out.policies.size();
+      out.policies.push_back(policy_from_name(policy));
+    }
+    auto& row = out.results[bench_index[bench]];
+    const std::size_t pi = policy_index[policy];
+    if (row.size() != pi)
+      throw std::runtime_error("results_io: rows out of order");
+    row.push_back(std::move(r));
+  }
+  if (out.benchmarks.empty()) throw std::runtime_error("results_io: empty file");
+  for (const auto& row : out.results) {
+    if (row.size() != out.policies.size())
+      throw std::runtime_error("results_io: ragged results");
+  }
+  return out;
+}
+
+CampaignResults read_results_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("results_io: cannot open " + path);
+  return read_results(in);
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,194 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "ftnoc/dt_policy.h"
+#include "ftnoc/rl_policy.h"
+
+namespace rlftnoc {
+
+std::unique_ptr<ControlPolicy> make_policy(const SimOptions& opt) {
+  switch (opt.policy) {
+    case PolicyKind::kStaticCrc:
+      return std::make_unique<StaticPolicy>(OpMode::kMode0);
+    case PolicyKind::kStaticArqEcc:
+      return std::make_unique<StaticPolicy>(OpMode::kMode1);
+    case PolicyKind::kDecisionTree:
+      return std::make_unique<DtPolicy>(opt.thresholds, opt.dt, opt.per_port_state);
+    case PolicyKind::kRl: {
+      auto rl = std::make_unique<RlPolicy>(opt.noc.num_nodes(), opt.rl, opt.seed,
+                                           opt.per_port_state, opt.rl_shared_table);
+      rl->set_freeze_on_measure(opt.freeze_rl_on_measure);
+      return rl;
+    }
+    case PolicyKind::kOracle:
+      return std::make_unique<OraclePolicy>(opt.thresholds);
+  }
+  return std::make_unique<StaticPolicy>(OpMode::kMode0);
+}
+
+Simulator::Simulator(SimOptions opt) : Simulator(std::move(opt), nullptr) {}
+
+Simulator::Simulator(SimOptions opt, std::unique_ptr<ControlPolicy> policy)
+    : opt_(std::move(opt)) {
+  opt_.noc.validate();
+  net_ = std::make_unique<Network>(opt_.noc, opt_.seed, opt_.varius, opt_.power);
+  policy_ = policy ? std::move(policy) : make_policy(opt_);
+  controller_ = std::make_unique<FtController>(net_.get(), policy_.get(),
+                                               opt_.controller, opt_.thermal,
+                                               opt_.error_scale);
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::enqueue_batch(std::vector<Packet>& batch) {
+  for (Packet& p : batch) {
+    const NodeId src = p.src;
+    if (!net_->ni(src).enqueue_packet(std::move(p))) ++enqueue_drops_;
+  }
+  batch.clear();
+}
+
+void Simulator::run_cycles_with(TrafficGenerator* gen, Cycle cycles) {
+  std::vector<Packet> batch;
+  const Cycle end = net_->now() + cycles;
+  while (net_->now() < end) {
+    if (gen != nullptr && !gen->exhausted()) {
+      gen->tick(net_->now(), batch);
+      if (!batch.empty()) enqueue_batch(batch);
+    }
+    net_->step();
+    controller_->on_cycle();
+  }
+}
+
+SimResult Simulator::run(TrafficGenerator& workload) {
+  const bool learning =
+      opt_.policy == PolicyKind::kDecisionTree || opt_.policy == PolicyKind::kRl;
+
+  // Phase 1: pre-training on synthetic traffic (learning policies only).
+  controller_->begin_phase(SimPhase::kPretrain);
+  if (learning && opt_.pretrain_cycles > 0) {
+    PretrainTraffic pretrain(net_->topology(), opt_.seed);
+    run_cycles_with(&pretrain, opt_.pretrain_cycles);
+    // Let pre-training traffic drain so it does not pollute the benchmark.
+    Cycle guard = opt_.drain_grace_cycles;
+    while (!net_->drained() && guard-- > 0) {
+      net_->step();
+      controller_->on_cycle();
+    }
+  }
+
+  // Phase 2: warm-up with the benchmark's own traffic.
+  controller_->begin_phase(SimPhase::kWarmup);
+  if (opt_.warmup_cycles > 0) run_cycles_with(&workload, opt_.warmup_cycles);
+
+  // Reset measured state; in-flight packets keep their injection stamps.
+  net_->metrics().reset();
+  net_->power().reset_totals();
+
+  // Phase 3: testing — run the benchmark to completion, then drain.
+  controller_->begin_phase(SimPhase::kMeasure);
+  const Cycle measure_start = net_->now();
+  std::vector<Packet> batch;
+  std::array<double, kNumOpModes> mode_accum{};
+  std::uint64_t mode_samples = 0;
+  StatAccumulator temp_accum;
+  double max_temp = 0.0;
+
+  const Cycle hard_stop = measure_start + opt_.max_measure_cycles;
+  Cycle drain_deadline = hard_stop;
+  const std::uint64_t steps_before = controller_->steps();
+  std::uint64_t last_seen_steps = steps_before;
+
+  while (net_->now() < hard_stop) {
+    if (!workload.exhausted()) {
+      workload.tick(net_->now(), batch);
+      if (!batch.empty()) enqueue_batch(batch);
+    }
+    net_->step();
+    controller_->on_cycle();
+
+    if (controller_->steps() != last_seen_steps) {
+      last_seen_steps = controller_->steps();
+      ++mode_samples;
+      for (NodeId r = 0; r < opt_.noc.num_nodes(); ++r) {
+        mode_accum[static_cast<std::size_t>(controller_->current_mode(r))] += 1.0;
+        const double t = controller_->thermal().temperature(r);
+        temp_accum.add(t);
+        max_temp = std::max(max_temp, t);
+      }
+    }
+
+    if (workload.exhausted()) {
+      if (drain_deadline == hard_stop) {
+        drain_deadline =
+            std::min(hard_stop, net_->now() + opt_.drain_grace_cycles);
+      }
+      if (net_->drained() || net_->now() >= drain_deadline) break;
+    }
+  }
+
+  // Integrate the leakage tail of the last partial control window.
+  controller_->control_step();
+
+  const NetworkMetrics& m = net_->metrics();
+  const PowerModel& pw = net_->power();
+
+  SimResult res;
+  res.workload = workload.name();
+  res.policy = policy_->name();
+  res.drained = net_->drained();
+  const Cycle last = std::max(m.last_delivery_cycle, measure_start);
+  res.execution_cycles = last - measure_start;
+  res.avg_packet_latency = m.packet_latency.mean();
+  res.p50_latency = m.latency_hist.quantile(0.50);
+  res.p95_latency = m.latency_hist.quantile(0.95);
+  res.p99_latency = m.latency_hist.quantile(0.99);
+  res.packets_injected = m.packets_injected;
+  res.packets_delivered = m.packets_delivered;
+  res.flits_delivered = m.flits_delivered;
+  res.retransmitted_flits = m.total_retransmitted_flits();
+  res.retx_flits_e2e = m.retx_flits_e2e;
+  res.retx_flits_hop = m.retx_flits_hop;
+  res.dup_flits = m.dup_flits;
+  res.crc_packet_failures = m.crc_packet_failures;
+
+  res.dynamic_energy_pj = pw.total_dynamic_energy_pj();
+  res.leakage_energy_pj = pw.total_leakage_energy_pj();
+  res.total_energy_pj = res.dynamic_energy_pj + res.leakage_energy_pj;
+  res.energy_efficiency =
+      res.total_energy_pj > 0.0
+          ? static_cast<double>(res.flits_delivered) / (res.total_energy_pj * 1e-3)
+          : 0.0;  // flits per nJ
+  const double measure_seconds =
+      static_cast<double>(std::max<Cycle>(res.execution_cycles, 1)) /
+      pw.params().clock_hz;
+  res.avg_dynamic_power_w = res.dynamic_energy_pj * 1e-12 / measure_seconds;
+  res.avg_total_power_w = res.total_energy_pj * 1e-12 / measure_seconds;
+
+  res.avg_temperature_c = temp_accum.mean();
+  res.max_temperature_c = max_temp;
+
+  if (mode_samples > 0) {
+    const double denom =
+        static_cast<double>(mode_samples) * opt_.noc.num_nodes();
+    for (std::size_t a = 0; a < kNumOpModes; ++a) mode_accum[a] /= denom;
+  }
+  res.mode_fraction = mode_accum;
+
+  if (auto* rl = dynamic_cast<RlPolicy*>(policy_.get()))
+    res.rl_table_entries = rl->total_table_entries();
+  if (auto* dt = dynamic_cast<DtPolicy*>(policy_.get()))
+    res.dt_training_accuracy = dt->training_accuracy();
+
+  if (enqueue_drops_ > 0)
+    LOG_WARN("simulator: " << enqueue_drops_ << " packets dropped at full NI queues");
+  if (!res.drained)
+    LOG_WARN("simulator: " << res.workload << "/" << res.policy
+                           << " did not fully drain before the cycle guard");
+  return res;
+}
+
+}  // namespace rlftnoc

@@ -1,0 +1,150 @@
+// Simulation driver: wires Network + FtController + policy + traffic into
+// the paper's three-phase experiment protocol (Section V.B):
+//
+//   1. pre-training  - 1M cycles of synthetic traffic for the learning
+//                      policies (DT collects labels and trains; RL learns
+//                      online),
+//   2. warm-up       - 300K cycles of the benchmark's own traffic with
+//                      metrics discarded,
+//   3. testing       - the benchmark runs to completion ("a full
+//                      application execution time"); all figures are
+//                      computed over this phase.
+//
+// Defaults here are scaled down ~4x from the paper so the whole 8-benchmark
+// x 4-policy campaign stays laptop-scale; pass `--full` to benches (or set
+// SimOptions accordingly) for paper-scale runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "dt/decision_tree.h"
+#include "fault/varius.h"
+#include "ftnoc/controller.h"
+#include "ftnoc/policy.h"
+#include "noc/network.h"
+#include "noc/noc_config.h"
+#include "power/orion_lite.h"
+#include "rl/agent.h"
+#include "thermal/hotspot_lite.h"
+#include "traffic/traffic.h"
+
+namespace rlftnoc {
+
+/// Everything needed to reproduce one run.
+struct SimOptions {
+  NocConfig noc;
+  PolicyKind policy = PolicyKind::kRl;
+  std::uint64_t seed = 1;
+
+  Cycle pretrain_cycles = 500000;  ///< paper: 1,000,000
+  Cycle warmup_cycles = 50000;     ///< paper: 300,000
+  Cycle max_measure_cycles = 8'000'000;  ///< hard guard against livelock
+  Cycle drain_grace_cycles = 400000;     ///< post-exhaustion drain budget
+
+  ControllerOptions controller;
+  VariusParams varius;
+  PowerParams power;
+  ThermalParams thermal;
+  QLearningParams rl;
+  ErrorLevelThresholds thresholds;
+  DtParams dt;
+
+  /// Global multiplier on injected error probability (fault sweeps).
+  double error_scale = 1.0;
+  /// Freeze RL exploration during measurement. Default true: the policy
+  /// acts greedily (and keeps applying the TD rule) while being measured;
+  /// set false for the paper-literal always-exploring epsilon = 0.1
+  /// (ablation: bench_ablation_rl).
+  bool freeze_rl_on_measure = true;
+  /// Paper-literal Table I per-port state layout instead of the default
+  /// aggregated 8-feature layout (ablation; see FeatureSnapshot).
+  bool per_port_state = false;
+  /// Shared Q-table across the per-router agents (default; see RlPolicy).
+  /// false = paper-literal independent per-router tables.
+  bool rl_shared_table = true;
+
+  /// Applies paper-scale phase lengths.
+  void use_paper_scale() {
+    pretrain_cycles = 1'000'000;
+    warmup_cycles = 300'000;
+  }
+};
+
+/// Metrics of one measured run (one bar of one figure).
+struct SimResult {
+  std::string workload;
+  std::string policy;
+
+  Cycle execution_cycles = 0;  ///< measure start -> last successful delivery
+  bool drained = false;        ///< everything delivered before the guard
+
+  double avg_packet_latency = 0.0;  ///< cycles, successful packets
+  double p50_latency = 0.0;         ///< median end-to-end latency (cycles)
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+
+  std::uint64_t retransmitted_flits = 0;  ///< e2e + hop + duplicates
+  std::uint64_t retx_flits_e2e = 0;
+  std::uint64_t retx_flits_hop = 0;
+  std::uint64_t dup_flits = 0;
+  std::uint64_t crc_packet_failures = 0;
+
+  double dynamic_energy_pj = 0.0;
+  double leakage_energy_pj = 0.0;
+  double total_energy_pj = 0.0;
+  double energy_efficiency = 0.0;   ///< delivered flits per nJ
+  double avg_dynamic_power_w = 0.0; ///< network total over the measure phase
+  double avg_total_power_w = 0.0;
+
+  double avg_temperature_c = 0.0;
+  double max_temperature_c = 0.0;
+
+  std::array<double, kNumOpModes> mode_fraction{};  ///< time share per mode
+  std::size_t rl_table_entries = 0;   ///< RL only
+  double dt_training_accuracy = 0.0;  ///< DT only
+};
+
+/// Owns one complete simulation instance.
+class Simulator {
+ public:
+  explicit Simulator(SimOptions opt);
+  /// Variant with a caller-supplied policy (e.g. a user-defined one); the
+  /// `opt.policy` field is ignored for construction but used for labels.
+  Simulator(SimOptions opt, std::unique_ptr<ControlPolicy> policy);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs pretrain (learning policies) + warm-up + measurement and returns
+  /// the measured metrics.
+  SimResult run(TrafficGenerator& workload);
+
+  Network& network() noexcept { return *net_; }
+  FtController& controller() noexcept { return *controller_; }
+  ControlPolicy& policy() noexcept { return *policy_; }
+  const SimOptions& options() const noexcept { return opt_; }
+
+ private:
+  void run_cycles_with(TrafficGenerator* gen, Cycle cycles);
+  void enqueue_batch(std::vector<Packet>& batch);
+
+  SimOptions opt_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ControlPolicy> policy_;
+  std::unique_ptr<FtController> controller_;
+  std::uint64_t enqueue_drops_ = 0;
+};
+
+/// Builds the policy object for a PolicyKind (shared by Simulator and the
+/// benches/examples that want a bare policy).
+std::unique_ptr<ControlPolicy> make_policy(const SimOptions& opt);
+
+}  // namespace rlftnoc

@@ -1,0 +1,75 @@
+#include "thermal/hotspot_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlftnoc {
+
+ThermalGrid::ThermalGrid(int width, int height, ThermalParams params)
+    : width_(width), height_(height), params_(params) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("ThermalGrid: empty grid");
+  if (params_.r_ambient <= 0 || params_.r_lateral <= 0 || params_.capacitance <= 0 ||
+      params_.dt <= 0 || params_.substeps <= 0)
+    throw std::invalid_argument("ThermalGrid: non-positive parameter");
+  temp_c_.assign(static_cast<std::size_t>(tiles()), params_.ambient_c);
+  power_w_.assign(static_cast<std::size_t>(tiles()), 0.0);
+  delta_.assign(static_cast<std::size_t>(tiles()), 0.0);
+}
+
+void ThermalGrid::set_power(int node, double watts) {
+  power_w_.at(static_cast<std::size_t>(node)) = std::max(watts, 0.0);
+}
+
+void ThermalGrid::step() {
+  const double h = params_.dt / params_.substeps;
+  for (int s = 0; s < params_.substeps; ++s) {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        const int i = index(x, y);
+        double heat_w = power_w_[static_cast<std::size_t>(i)];
+        heat_w -= (temp_c_[static_cast<std::size_t>(i)] - params_.ambient_c) / params_.r_ambient;
+        const auto lateral = [&](int j) {
+          heat_w -= (temp_c_[static_cast<std::size_t>(i)] - temp_c_[static_cast<std::size_t>(j)]) /
+                    params_.r_lateral;
+        };
+        if (x > 0) lateral(index(x - 1, y));
+        if (x + 1 < width_) lateral(index(x + 1, y));
+        if (y > 0) lateral(index(x, y - 1));
+        if (y + 1 < height_) lateral(index(x, y + 1));
+        delta_[static_cast<std::size_t>(i)] = h * heat_w / params_.capacitance;
+      }
+    }
+    for (std::size_t i = 0; i < temp_c_.size(); ++i) {
+      temp_c_[i] = std::clamp(temp_c_[i] + delta_[i], params_.ambient_c,
+                              params_.max_temp_c);
+    }
+  }
+}
+
+int ThermalGrid::settle(double tol_c, int max_steps) {
+  for (int n = 1; n <= max_steps; ++n) {
+    const std::vector<double> before = temp_c_;
+    step();
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < temp_c_.size(); ++i)
+      max_change = std::max(max_change, std::fabs(temp_c_[i] - before[i]));
+    if (max_change < tol_c) return n;
+  }
+  return max_steps;
+}
+
+double ThermalGrid::temperature(int node) const {
+  return temp_c_.at(static_cast<std::size_t>(node));
+}
+
+double ThermalGrid::max_temperature() const noexcept {
+  return *std::max_element(temp_c_.begin(), temp_c_.end());
+}
+
+void ThermalGrid::reset() {
+  std::fill(temp_c_.begin(), temp_c_.end(), params_.ambient_c);
+  std::fill(power_w_.begin(), power_w_.end(), 0.0);
+}
+
+}  // namespace rlftnoc

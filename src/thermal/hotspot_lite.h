@@ -1,0 +1,75 @@
+// HotSpot-lite: compact RC thermal grid (Huang et al., IEEE TVLSI 2006).
+//
+// The paper runs HotSpot at simulation time to convert per-router power into
+// a local temperature that feeds the VARIUS timing-error model and RL state
+// feature 6. We reproduce the part of HotSpot the paper exercises: a
+// lumped-RC network with one node per tile, a vertical resistance to the
+// ambient (package + heat sink) and lateral resistances between mesh
+// neighbours, integrated with forward Euler at a fixed step.
+//
+// Calibration: ambient 45 C, R_amb 50 K/W -> a 0.1 W idle router settles
+// near 50 C and a ~1.1 W saturated router near 100 C, matching the paper's
+// observed 50-100 C operating band.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlftnoc {
+
+/// Coefficients of the RC grid.
+struct ThermalParams {
+  double ambient_c = 48.0;     ///< ambient / heat-sink temperature (C)
+  double r_ambient = 50.0;     ///< vertical resistance tile->ambient (K/W)
+  double r_lateral = 45.0;     ///< resistance between adjacent tiles (K/W)
+  double capacitance = 2.5e-7; ///< tile thermal capacitance (J/K)
+  double dt = 5.0e-7;          ///< integration step (s); 1000 cycles @ 2 GHz
+  int substeps = 4;            ///< Euler substeps per step() for stability
+  /// Thermal-throttle ceiling: tiles are clamped here, modelling the DVFS
+  /// emergency throttle every real chip engages before silicon damage.
+  double max_temp_c = 112.0;
+};
+
+/// One-node-per-tile thermal RC model over a W x H mesh.
+class ThermalGrid {
+ public:
+  ThermalGrid(int width, int height, ThermalParams params = {});
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int tiles() const noexcept { return width_ * height_; }
+
+  /// Sets the power (W) dissipated in tile `node` until the next step.
+  void set_power(int node, double watts);
+
+  /// Advances the grid by one `params.dt` interval.
+  void step();
+
+  /// Runs steps until the max per-step temperature change drops below
+  /// `tol_c`, or `max_steps` elapse. Returns steps taken. Used by tests and
+  /// by the warm-up phase to reach a thermal steady state quickly.
+  int settle(double tol_c = 1e-4, int max_steps = 200000);
+
+  /// Current temperature (C) of tile `node`.
+  double temperature(int node) const;
+
+  /// Hottest tile temperature.
+  double max_temperature() const noexcept;
+
+  /// Resets all tiles to ambient.
+  void reset();
+
+  const ThermalParams& params() const noexcept { return params_; }
+
+ private:
+  int index(int x, int y) const noexcept { return y * width_ + x; }
+
+  int width_;
+  int height_;
+  ThermalParams params_;
+  std::vector<double> temp_c_;
+  std::vector<double> power_w_;
+  std::vector<double> delta_;  // scratch for one substep
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,81 @@
+#include "traffic/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "noc/ni.h"
+
+namespace rlftnoc {
+
+std::vector<TraceRecord> read_trace(std::istream& in) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  Cycle prev = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    TraceRecord rec;
+    if (!(ls >> rec.cycle)) continue;  // blank / comment-only line
+    if (!(ls >> rec.src >> rec.dst >> rec.len))
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": expected 'cycle src dst len'");
+    if (rec.cycle < prev)
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": cycles not sorted");
+    if (rec.len < 1)
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": non-positive packet length");
+    prev = rec.cycle;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "# rlftnoc packet trace: cycle src dst len\n";
+  for (const TraceRecord& r : records) {
+    out << r.cycle << ' ' << r.src << ' ' << r.dst << ' ' << r.len << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file for write: " + path);
+  write_trace(out, records);
+}
+
+std::vector<TraceRecord> capture_trace(TrafficGenerator& gen, Cycle cycles) {
+  std::vector<TraceRecord> out;
+  std::vector<Packet> batch;
+  for (Cycle t = 0; t < cycles && !gen.exhausted(); ++t) {
+    batch.clear();
+    gen.tick(t, batch);
+    for (const Packet& p : batch) {
+      out.push_back(TraceRecord{t, p.src, p.dst, static_cast<int>(p.flits.size())});
+    }
+  }
+  return out;
+}
+
+TraceTraffic::TraceTraffic(std::vector<TraceRecord> records, std::uint64_t seed,
+                           std::string name)
+    : records_(std::move(records)), rng_(seed, "trace"), name_(std::move(name)) {}
+
+void TraceTraffic::tick(Cycle now, std::vector<Packet>& out) {
+  while (next_ < records_.size() && records_[next_].cycle <= now) {
+    const TraceRecord& r = records_[next_++];
+    out.push_back(make_packet(next_id_++, r.src, r.dst, r.len, now, rng_));
+  }
+}
+
+}  // namespace rlftnoc

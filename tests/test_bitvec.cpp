@@ -1,0 +1,86 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace rlftnoc {
+namespace {
+
+TEST(BitVec, DefaultIsZero) {
+  BitVec128 v;
+  EXPECT_EQ(v.word(0), 0u);
+  EXPECT_EQ(v.word(1), 0u);
+  EXPECT_EQ(v.popcount(), 0);
+}
+
+TEST(BitVec, SetAndReadBits) {
+  BitVec128 v;
+  v.set_bit(0, true);
+  v.set_bit(63, true);
+  v.set_bit(64, true);
+  v.set_bit(127, true);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(127));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(65));
+  EXPECT_EQ(v.popcount(), 4);
+}
+
+TEST(BitVec, ClearBit) {
+  BitVec128 v(~0ULL, ~0ULL);
+  v.set_bit(42, false);
+  EXPECT_FALSE(v.bit(42));
+  EXPECT_EQ(v.popcount(), 127);
+}
+
+TEST(BitVec, FlipBitTwiceRestores) {
+  BitVec128 v(0x1234, 0x5678);
+  const BitVec128 orig = v;
+  for (std::size_t i = 0; i < 128; i += 7) v.flip_bit(i);
+  EXPECT_NE(v, orig);
+  for (std::size_t i = 0; i < 128; i += 7) v.flip_bit(i);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(BitVec, WordBoundaryMapping) {
+  BitVec128 v;
+  v.set_bit(63, true);
+  EXPECT_EQ(v.word(0), 1ULL << 63);
+  EXPECT_EQ(v.word(1), 0u);
+  v.set_bit(64, true);
+  EXPECT_EQ(v.word(1), 1ULL);
+}
+
+TEST(BitVec, HammingDistance) {
+  BitVec128 a(0b1010, 0);
+  BitVec128 b(0b0110, 0);
+  EXPECT_EQ(a.hamming_distance(b), 2);
+  EXPECT_EQ(a.hamming_distance(a), 0);
+}
+
+TEST(BitVec, XorAssign) {
+  BitVec128 a(0xFF00, 0x00FF);
+  BitVec128 b(0x0FF0, 0x0FF0);
+  a ^= b;
+  EXPECT_EQ(a.word(0), 0xFF00ULL ^ 0x0FF0ULL);
+  EXPECT_EQ(a.word(1), 0x00FFULL ^ 0x0FF0ULL);
+}
+
+TEST(BitVec, Equality) {
+  EXPECT_EQ(BitVec128(1, 2), BitVec128(1, 2));
+  EXPECT_NE(BitVec128(1, 2), BitVec128(2, 1));
+}
+
+TEST(BitVec, HexRendering) {
+  BitVec128 v(0x00000000deadbeefULL, 0x0123456789abcdefULL);
+  EXPECT_EQ(v.to_hex(), "0x0123456789abcdef00000000deadbeef");
+}
+
+TEST(BitVec, PopcountFull) {
+  BitVec128 v(~0ULL, ~0ULL);
+  EXPECT_EQ(v.popcount(), 128);
+}
+
+}  // namespace
+}  // namespace rlftnoc

@@ -1,0 +1,72 @@
+#include "noc/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace rlftnoc {
+namespace {
+
+TEST(DelayLine, DeliversAfterLatency) {
+  DelayLine<int> d(2);
+  d.push(10, 42);
+  EXPECT_FALSE(d.pop(10).has_value());
+  EXPECT_FALSE(d.pop(11).has_value());
+  const auto v = d.pop(12);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(DelayLine, FifoOrder) {
+  DelayLine<int> d(1);
+  d.push(0, 1);
+  d.push(0, 2);
+  d.push(1, 3);
+  EXPECT_EQ(*d.pop(5), 1);
+  EXPECT_EQ(*d.pop(5), 2);
+  EXPECT_EQ(*d.pop(5), 3);
+  EXPECT_FALSE(d.pop(5).has_value());
+}
+
+TEST(DelayLine, LateEntriesBlockBehindEarly) {
+  DelayLine<int> d(1);
+  d.push_delayed(0, 1, 5);  // matures at 6
+  d.push(3, 2);             // matures at 4, but FIFO behind the first
+  EXPECT_FALSE(d.pop(4).has_value());
+  EXPECT_EQ(*d.pop(6), 1);
+  EXPECT_EQ(*d.pop(6), 2);
+}
+
+TEST(DelayLine, PushDelayedAddsExtra) {
+  DelayLine<int> d(1);
+  d.push_delayed(0, 9, 2);
+  EXPECT_FALSE(d.pop(2).has_value());
+  EXPECT_EQ(*d.pop(3), 9);
+}
+
+TEST(DelayLine, SizeTracksEntries) {
+  DelayLine<int> d(1);
+  EXPECT_EQ(d.size(), 0u);
+  d.push(0, 1);
+  d.push(0, 2);
+  EXPECT_EQ(d.size(), 2u);
+  d.pop(10);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DelayLine, MovesValueOut) {
+  DelayLine<std::unique_ptr<int>> d(1);
+  d.push(0, std::make_unique<int>(7));
+  auto v = d.pop(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(ChannelPair, DefaultLatencies) {
+  ChannelPair ch;
+  EXPECT_EQ(ch.flits.latency(), 1u);
+  EXPECT_EQ(ch.credits.latency(), 1u);
+  EXPECT_EQ(ch.acks.latency(), 1u);
+}
+
+}  // namespace
+}  // namespace rlftnoc

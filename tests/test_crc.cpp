@@ -1,0 +1,116 @@
+#include "coding/crc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rlftnoc {
+namespace {
+
+TEST(Crc32, KnownCheckValue) {
+  // The canonical CRC-32 check: "123456789" -> 0xCBF43926.
+  const char* s = "123456789";
+  std::vector<std::uint8_t> bytes(s, s + std::strlen(s));
+  EXPECT_EQ(default_crc32().compute(bytes), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  // CRC of nothing = init ^ final-xor = 0.
+  EXPECT_EQ(default_crc32().compute(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, WordAndByteAgree) {
+  const std::uint64_t w = 0x0123456789abcdefULL;
+  std::vector<std::uint8_t> bytes(8);
+  for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(w >> (8 * i));
+  EXPECT_EQ(default_crc32().compute(w), default_crc32().compute(bytes));
+}
+
+TEST(Crc32, PayloadMatchesTwoWords) {
+  const BitVec128 v(0xdeadbeefcafebabeULL, 0x0123456789abcdefULL);
+  std::vector<std::uint8_t> bytes(16);
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v.word(0) >> (8 * i));
+    bytes[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(v.word(1) >> (8 * i));
+  }
+  EXPECT_EQ(default_crc32().compute(v), default_crc32().compute(bytes));
+}
+
+TEST(Crc32, IncrementalMatchesBatch) {
+  const BitVec128 a(1, 2);
+  const BitVec128 b(3, 4);
+  std::uint32_t crc = Crc32::initial();
+  crc = default_crc32().feed(crc, a);
+  crc = default_crc32().feed(crc, b);
+  crc = Crc32::finalize(crc);
+
+  std::vector<std::uint8_t> bytes;
+  for (const BitVec128* v : {&a, &b}) {
+    for (int w = 0; w < 2; ++w) {
+      for (int i = 0; i < 8; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(v->word(static_cast<std::size_t>(w)) >> (8 * i)));
+    }
+  }
+  EXPECT_EQ(crc, default_crc32().compute(bytes));
+}
+
+/// Property: every single-bit flip anywhere in the payload changes the CRC.
+class CrcSingleBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcSingleBitSweep, DetectsSingleBitFlip) {
+  BitVec128 v(0x1111222233334444ULL, 0x5555666677778888ULL);
+  const std::uint32_t clean = default_crc32().compute(v);
+  v.flip_bit(static_cast<std::size_t>(GetParam()));
+  EXPECT_NE(default_crc32().compute(v), clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, CrcSingleBitSweep, ::testing::Range(0, 128));
+
+TEST(Crc32, DetectsAllDoubleBitFlipsSampled) {
+  Rng rng(77);
+  BitVec128 v(rng.next_u64(), rng.next_u64());
+  const std::uint32_t clean = default_crc32().compute(v);
+  for (int trial = 0; trial < 2000; ++trial) {
+    BitVec128 c = v;
+    const auto i = static_cast<std::size_t>(rng.next_below(128));
+    auto j = static_cast<std::size_t>(rng.next_below(128));
+    while (j == i) j = static_cast<std::size_t>(rng.next_below(128));
+    c.flip_bit(i);
+    c.flip_bit(j);
+    EXPECT_NE(default_crc32().compute(c), clean);
+  }
+}
+
+TEST(Crc32, DetectsBurstErrors) {
+  // CRC-32 detects all burst errors up to 32 bits long.
+  BitVec128 v(0xabcdef0123456789ULL, 0x9876543210fedcbaULL);
+  const std::uint32_t clean = default_crc32().compute(v);
+  for (int start = 0; start <= 128 - 32; start += 3) {
+    for (int len = 2; len <= 32; len += 5) {
+      BitVec128 c = v;
+      for (int i = 0; i < len; ++i) c.flip_bit(static_cast<std::size_t>(start + i));
+      EXPECT_NE(default_crc32().compute(c), clean)
+          << "burst at " << start << " len " << len;
+    }
+  }
+}
+
+TEST(Crc32, DifferentPolynomialsDiffer) {
+  const Crc32 ieee(0xEDB88320u);
+  const Crc32 castagnoli(0x82F63B78u);
+  const BitVec128 v(123, 456);
+  EXPECT_NE(ieee.compute(v), castagnoli.compute(v));
+}
+
+TEST(Crc32, DeterministicAcrossInstances) {
+  const Crc32 a;
+  const Crc32 b;
+  const BitVec128 v(42, 43);
+  EXPECT_EQ(a.compute(v), b.compute(v));
+}
+
+}  // namespace
+}  // namespace rlftnoc

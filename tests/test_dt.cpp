@@ -1,0 +1,167 @@
+#include "dt/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace rlftnoc {
+namespace {
+
+std::vector<DtSample> threshold_dataset(int n, double threshold, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DtSample> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double();
+    const double noise = rng.next_double();  // irrelevant feature
+    out.push_back(DtSample{{x, noise}, x > threshold ? 1 : 0});
+  }
+  return out;
+}
+
+TEST(DecisionTree, UntrainedPredictsZero) {
+  DecisionTree t;
+  EXPECT_FALSE(t.trained());
+  const std::vector<double> f{1.0, 2.0};
+  EXPECT_EQ(t.predict(f), 0);
+  EXPECT_TRUE(t.predict_proba(f).empty());
+}
+
+TEST(DecisionTree, RejectsBadInput) {
+  DecisionTree t;
+  EXPECT_THROW(t.train({}, 2), std::invalid_argument);
+  std::vector<DtSample> one{{{1.0}, 0}};
+  EXPECT_THROW(t.train(one, 1), std::invalid_argument);
+  std::vector<DtSample> bad_label{{{1.0}, 5}};
+  EXPECT_THROW(t.train(bad_label, 2), std::invalid_argument);
+  std::vector<DtSample> ragged{{{1.0}, 0}, {{1.0, 2.0}, 1}};
+  EXPECT_THROW(t.train(ragged, 2), std::invalid_argument);
+}
+
+TEST(DecisionTree, LearnsSimpleThreshold) {
+  DecisionTree t;
+  t.train(threshold_dataset(500, 0.6, 1), 2);
+  EXPECT_TRUE(t.trained());
+  const std::vector<double> lo{0.2, 0.5};
+  const std::vector<double> hi{0.9, 0.5};
+  EXPECT_EQ(t.predict(lo), 0);
+  EXPECT_EQ(t.predict(hi), 1);
+  EXPECT_GT(t.accuracy(threshold_dataset(500, 0.6, 2)), 0.95);
+}
+
+TEST(DecisionTree, PureDataMakesSingleLeaf) {
+  std::vector<DtSample> pure;
+  for (int i = 0; i < 20; ++i) pure.push_back(DtSample{{static_cast<double>(i)}, 1});
+  DecisionTree t;
+  t.train(pure, 2);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.depth(), 1);
+  const std::vector<double> f{3.0};
+  EXPECT_EQ(t.predict(f), 1);
+}
+
+TEST(DecisionTree, LearnsXorWithDepth) {
+  // XOR of two binary features needs depth >= 2.
+  Rng rng(3);
+  std::vector<DtSample> data;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const double b = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    data.push_back(DtSample{{a, b}, (a != b) ? 1 : 0});
+  }
+  DtParams p;
+  p.max_depth = 4;
+  p.min_samples_leaf = 2;
+  DecisionTree t;
+  t.train(data, 2, p);
+  EXPECT_GT(t.accuracy(data), 0.98);
+  EXPECT_GE(t.depth(), 3);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  DtParams p;
+  p.max_depth = 2;
+  p.min_samples_leaf = 1;
+  DecisionTree t;
+  t.train(threshold_dataset(400, 0.5, 5), 2, p);
+  EXPECT_LE(t.depth(), 3);  // root at depth 1, two split levels
+}
+
+TEST(DecisionTree, MinLeafRespected) {
+  // With min_samples_leaf = half the data, at most one split is possible.
+  DtParams p;
+  p.min_samples_leaf = 200;
+  DecisionTree t;
+  t.train(threshold_dataset(400, 0.5, 7), 2, p);
+  EXPECT_LE(t.node_count(), 3u);
+}
+
+TEST(DecisionTree, MultiClass) {
+  Rng rng(11);
+  std::vector<DtSample> data;
+  for (int i = 0; i < 900; ++i) {
+    const double x = rng.next_double() * 3.0;
+    data.push_back(DtSample{{x}, static_cast<int>(x)});
+  }
+  DecisionTree t;
+  t.train(data, 3);
+  EXPECT_GT(t.accuracy(data), 0.97);
+  const std::vector<double> f0{0.4};
+  const std::vector<double> f1{1.5};
+  const std::vector<double> f2{2.6};
+  EXPECT_EQ(t.predict(f0), 0);
+  EXPECT_EQ(t.predict(f1), 1);
+  EXPECT_EQ(t.predict(f2), 2);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  DecisionTree t;
+  t.train(threshold_dataset(300, 0.5, 13), 2);
+  const std::vector<double> f{0.7, 0.2};
+  const auto proba = t.predict_proba(f);
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, IgnoresIrrelevantFeature) {
+  // The noise feature must not be chosen as the root split.
+  DecisionTree t;
+  t.train(threshold_dataset(1000, 0.5, 17), 2);
+  // Root split on feature 0 implies flipping feature 1 never changes the
+  // prediction for clear-cut points.
+  for (double noise : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const std::vector<double> lo{0.1, noise};
+    const std::vector<double> hi{0.9, noise};
+    EXPECT_EQ(t.predict(lo), 0);
+    EXPECT_EQ(t.predict(hi), 1);
+  }
+}
+
+TEST(DecisionTree, DeterministicTraining) {
+  DecisionTree a;
+  DecisionTree b;
+  const auto data = threshold_dataset(400, 0.45, 19);
+  a.train(data, 2);
+  b.train(data, 2);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> f{rng.next_double(), rng.next_double()};
+    EXPECT_EQ(a.predict(f), b.predict(f));
+  }
+}
+
+TEST(DecisionTree, RetrainReplacesModel) {
+  DecisionTree t;
+  t.train(threshold_dataset(300, 0.2, 23), 2);
+  const std::size_t first = t.node_count();
+  t.train(threshold_dataset(300, 0.8, 29), 2);
+  const std::vector<double> mid{0.5, 0.5};
+  EXPECT_EQ(t.predict(mid), 0);  // below the new 0.8 threshold
+  EXPECT_GT(t.node_count() + first, 2u);
+}
+
+}  // namespace
+}  // namespace rlftnoc

@@ -1,0 +1,112 @@
+#include "ftnoc/features.h"
+
+#include <gtest/gtest.h>
+
+namespace rlftnoc {
+namespace {
+
+FeatureSnapshot sample_snapshot() {
+  FeatureSnapshot s;
+  s.buffer_util = 0.35;
+  s.in_link_util = {0.05, 0.10, 0.15, 0.20, 0.02};
+  s.out_link_util = {0.06, 0.12, 0.18, 0.24, 0.01};
+  s.in_nack_rate = {0.0, 0.001, 0.01, 0.1, 0.0};
+  s.out_nack_rate = {0.0, 0.0, 0.005, 0.05, 0.0};
+  s.temperature_c = 83.0;
+  return s;
+}
+
+TEST(Features, VectorSizes) {
+  const FeatureSnapshot s = sample_snapshot();
+  EXPECT_EQ(s.to_vector(false).size(),
+            static_cast<std::size_t>(FeatureSnapshot::kNumFeaturesAggregated));
+  EXPECT_EQ(s.to_vector(true).size(),
+            static_cast<std::size_t>(FeatureSnapshot::kNumFeaturesPerPort));
+  EXPECT_EQ(s.discretize(false).size(),
+            static_cast<std::size_t>(FeatureSnapshot::kNumFeaturesAggregated));
+  EXPECT_EQ(s.discretize(true).size(),
+            static_cast<std::size_t>(FeatureSnapshot::kNumFeaturesPerPort));
+}
+
+TEST(Features, AggregatedVectorContents) {
+  const FeatureSnapshot s = sample_snapshot();
+  const auto v = s.to_vector(false);
+  EXPECT_DOUBLE_EQ(v[0], 0.35);
+  EXPECT_NEAR(v[1], (0.05 + 0.10 + 0.15 + 0.20 + 0.02) / 5.0, 1e-12);  // mean in
+  EXPECT_DOUBLE_EQ(v[2], 0.20);   // max in
+  EXPECT_DOUBLE_EQ(v[4], 0.24);   // max out
+  EXPECT_DOUBLE_EQ(v[5], 0.1);    // max in-nack
+  EXPECT_DOUBLE_EQ(v[6], 0.05);   // max out-nack
+  EXPECT_DOUBLE_EQ(v[7], 83.0);
+}
+
+TEST(Features, PerPortVectorOrdering) {
+  const FeatureSnapshot s = sample_snapshot();
+  const auto v = s.to_vector(true);
+  EXPECT_DOUBLE_EQ(v[0], 0.35);
+  EXPECT_DOUBLE_EQ(v[1], 0.05);                 // first in-util
+  EXPECT_DOUBLE_EQ(v[6], 0.06);                 // first out-util
+  EXPECT_DOUBLE_EQ(v[11], 0.0);                 // first in-nack
+  EXPECT_DOUBLE_EQ(v[21], 83.0);                // temperature
+}
+
+TEST(Features, DiscretizationBins) {
+  FeatureSnapshot s = sample_snapshot();
+  const DiscreteState d = s.discretize(false);
+  // buffer 0.35 in [0,1)/5 -> bin 1
+  EXPECT_EQ(d[0], 1);
+  // temp 83 in [50,100]/5 -> bin 3
+  EXPECT_EQ(d[7], 3);
+  // max in-util 0.20 in [0,0.3]/5 -> bin 3
+  EXPECT_EQ(d[2], 3);
+}
+
+TEST(Features, TemperatureBinSweep) {
+  FeatureSnapshot s;
+  s.temperature_c = 49.0;
+  EXPECT_EQ(s.discretize().back(), 0);
+  s.temperature_c = 65.0;
+  EXPECT_EQ(s.discretize().back(), 1);
+  s.temperature_c = 75.0;
+  EXPECT_EQ(s.discretize().back(), 2);
+  s.temperature_c = 85.0;
+  EXPECT_EQ(s.discretize().back(), 3);
+  s.temperature_c = 99.0;
+  EXPECT_EQ(s.discretize().back(), 4);
+  s.temperature_c = 140.0;
+  EXPECT_EQ(s.discretize().back(), 4);
+}
+
+TEST(Features, IdenticalSnapshotsDiscretizeEqually) {
+  const FeatureSnapshot a = sample_snapshot();
+  const FeatureSnapshot b = sample_snapshot();
+  EXPECT_EQ(a.discretize(false), b.discretize(false));
+  EXPECT_EQ(a.discretize(true), b.discretize(true));
+}
+
+TEST(Features, SmallPerturbationWithinBinKeepsState) {
+  FeatureSnapshot a = sample_snapshot();
+  FeatureSnapshot b = a;
+  b.temperature_c += 0.5;
+  b.buffer_util += 0.01;
+  EXPECT_EQ(a.discretize(), b.discretize());
+}
+
+TEST(Thresholds, ClassifyBands) {
+  const ErrorLevelThresholds t;
+  EXPECT_EQ(t.classify(0.0), OpMode::kMode0);
+  EXPECT_EQ(t.classify(t.low / 2), OpMode::kMode0);
+  EXPECT_EQ(t.classify(t.low * 1.01), OpMode::kMode1);
+  EXPECT_EQ(t.classify(t.medium * 1.01), OpMode::kMode2);
+  EXPECT_EQ(t.classify(t.high * 1.01), OpMode::kMode3);
+  EXPECT_EQ(t.classify(1.0), OpMode::kMode3);
+}
+
+TEST(Thresholds, OrderingInvariant) {
+  const ErrorLevelThresholds t;
+  EXPECT_LT(t.low, t.medium);
+  EXPECT_LT(t.medium, t.high);
+}
+
+}  // namespace
+}  // namespace rlftnoc

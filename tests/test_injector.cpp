@@ -1,0 +1,179 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+namespace rlftnoc {
+namespace {
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  VariusModel model_;
+};
+
+TEST_F(InjectorTest, ZeroProbabilityNeverFlips) {
+  LinkFaultInjector inj(&model_, 1, "link:test");
+  BitVec128 payload(123, 456);
+  const BitVec128 orig = payload;
+  for (int i = 0; i < 1000; ++i) {
+    const InjectionResult r = inj.inject(payload, nullptr, 0.0);
+    EXPECT_FALSE(r.error_event);
+    EXPECT_EQ(r.bits_flipped, 0);
+  }
+  EXPECT_EQ(payload, orig);
+  EXPECT_EQ(inj.total_events(), 0u);
+}
+
+TEST_F(InjectorTest, CertainProbabilityAlwaysFlips) {
+  LinkFaultInjector inj(&model_, 2, "link:test");
+  for (int i = 0; i < 200; ++i) {
+    BitVec128 payload(0, 0);
+    const InjectionResult r = inj.inject(payload, nullptr, 1.0);
+    EXPECT_TRUE(r.error_event);
+    EXPECT_GE(r.bits_flipped, 1);
+    // Flips can collide on the same bit (flip twice = restore), so the
+    // surviving popcount is at most the flip count and has equal parity.
+    EXPECT_LE(payload.popcount(), r.payload_flips);
+    EXPECT_EQ(payload.popcount() % 2, r.payload_flips % 2);
+  }
+}
+
+TEST_F(InjectorTest, EventRateMatchesProbability) {
+  LinkFaultInjector inj(&model_, 3, "link:test");
+  const int n = 200000;
+  int events = 0;
+  for (int i = 0; i < n; ++i) {
+    BitVec128 payload(0, 0);
+    if (inj.inject(payload, nullptr, 0.05).error_event) ++events;
+  }
+  EXPECT_NEAR(static_cast<double>(events) / n, 0.05, 0.003);
+}
+
+TEST_F(InjectorTest, FlipsLandInPayloadWithoutEcc) {
+  LinkFaultInjector inj(&model_, 4, "link:test");
+  for (int i = 0; i < 500; ++i) {
+    BitVec128 payload(0, 0);
+    const InjectionResult r = inj.inject(payload, nullptr, 1.0);
+    EXPECT_EQ(r.check_flips, 0);
+    EXPECT_EQ(r.payload_flips, r.bits_flipped);
+  }
+}
+
+TEST_F(InjectorTest, FlipsCanHitCheckBitsWithEcc) {
+  LinkFaultInjector inj(&model_, 5, "link:test");
+  int check_hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    BitVec128 payload(0, 0);
+    FlitEcc ecc;
+    const InjectionResult r = inj.inject(payload, &ecc, 1.0);
+    check_hits += r.check_flips;
+    EXPECT_LE(payload.popcount(), r.payload_flips);
+  }
+  // 16 of 144 codeword bits are check bits: expect roughly 11% of flips.
+  EXPECT_GT(check_hits, 100);
+}
+
+TEST_F(InjectorTest, BurstLengthBounded) {
+  LinkFaultInjector inj(&model_, 6, "link:test");
+  for (int i = 0; i < 2000; ++i) {
+    BitVec128 payload(0, 0);
+    const InjectionResult r = inj.inject(payload, nullptr, 1.0);
+    EXPECT_LE(r.bits_flipped, 8);
+  }
+}
+
+TEST_F(InjectorTest, MostEventsAreSingleBitAtLowPressure) {
+  LinkFaultInjector inj(&model_, 7, "link:test");
+  int singles = 0;
+  int events = 0;
+  for (int i = 0; i < 20000; ++i) {
+    BitVec128 payload(0, 0);
+    const InjectionResult r = inj.inject(payload, nullptr, 0.01);
+    if (r.error_event) {
+      ++events;
+      if (r.bits_flipped == 1) ++singles;
+    }
+  }
+  ASSERT_GT(events, 50);
+  EXPECT_GT(static_cast<double>(singles) / events, 0.7);
+}
+
+TEST_F(InjectorTest, DeterministicPerTag) {
+  LinkFaultInjector a(&model_, 42, "link:0:N");
+  LinkFaultInjector b(&model_, 42, "link:0:N");
+  for (int i = 0; i < 200; ++i) {
+    BitVec128 pa(7, 7);
+    BitVec128 pb(7, 7);
+    a.inject(pa, nullptr, 0.3);
+    b.inject(pb, nullptr, 0.3);
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+TEST_F(InjectorTest, DifferentTagsDiverge) {
+  LinkFaultInjector a(&model_, 42, "link:0:N");
+  LinkFaultInjector b(&model_, 42, "link:0:S");
+  int diffs = 0;
+  for (int i = 0; i < 200; ++i) {
+    BitVec128 pa(7, 7);
+    BitVec128 pb(7, 7);
+    a.inject(pa, nullptr, 0.5);
+    b.inject(pb, nullptr, 0.5);
+    if (!(pa == pb)) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST_F(InjectorTest, CountersAccumulate) {
+  LinkFaultInjector inj(&model_, 8, "link:test");
+  std::uint64_t flips = 0;
+  for (int i = 0; i < 100; ++i) {
+    BitVec128 payload(0, 0);
+    flips += static_cast<std::uint64_t>(inj.inject(payload, nullptr, 1.0).bits_flipped);
+  }
+  EXPECT_EQ(inj.total_events(), 100u);
+  EXPECT_EQ(inj.total_flips(), flips);
+}
+
+TEST_F(InjectorTest, DroopsCreateErrorBursts) {
+  VariusParams vp;
+  vp.droop_rate = 0.01;
+  vp.droop_len_traversals = 20;
+  vp.droop_scale = 50.0;
+  const VariusModel model(vp);
+  LinkFaultInjector inj(&model, 31, "link:droop");
+  // At base p = 0.002, droops raise the in-burst probability to ~0.1:
+  // errors cluster instead of arriving uniformly.
+  int runs_of_3 = 0;
+  int consecutive = 0;
+  int events = 0;
+  for (int i = 0; i < 100000; ++i) {
+    BitVec128 payload(0, 0);
+    if (inj.inject(payload, nullptr, 0.002).error_event) {
+      ++events;
+      if (++consecutive >= 2) ++runs_of_3;
+    } else {
+      consecutive = 0;
+    }
+  }
+  EXPECT_GT(inj.total_droops(), 100u);
+  EXPECT_GT(events, 200);
+  // Under the uncorrelated model at the same average rate, back-to-back
+  // errors would be vanishingly rare (p^2 ~ 1e-4 of traversals).
+  EXPECT_GT(runs_of_3, 5);
+}
+
+TEST_F(InjectorTest, DroopDisabledMeansNoBursts) {
+  VariusParams vp;
+  vp.droop_rate = 0.0;
+  const VariusModel model(vp);
+  LinkFaultInjector inj(&model, 32, "link:nodroop");
+  for (int i = 0; i < 10000; ++i) {
+    BitVec128 payload(0, 0);
+    inj.inject(payload, nullptr, 0.01);
+  }
+  EXPECT_EQ(inj.total_droops(), 0u);
+  EXPECT_FALSE(inj.in_droop());
+}
+
+}  // namespace
+}  // namespace rlftnoc

@@ -1,0 +1,93 @@
+// Pins the documented router pipeline timings (DESIGN.md): ~3 in-router
+// cycles + 1 link cycle per hop for a head flit, +1 per hop with ECC
+// enabled, +2 more per hop in relaxed-timing mode.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "noc/network.h"
+#include "noc/ni.h"
+
+namespace rlftnoc {
+namespace {
+
+/// Latency of a single 1-flit packet across `hops` hops in a quiet 1-row
+/// mesh under `mode` (no faults).
+double one_packet_latency(int hops, OpMode mode) {
+  NocConfig cfg;
+  cfg.mesh_width = hops + 1;
+  cfg.mesh_height = 2;  // validate() requires >= 2 rows
+  Network net(cfg, 1);
+  for (NodeId r = 0; r < cfg.num_nodes(); ++r) net.router(r).set_mode(mode);
+  Rng rng(3);
+  net.ni(0).enqueue_packet(make_packet(1, 0, hops, 1, 0, rng));
+  for (Cycle t = 0; t < 400 && net.metrics().packets_delivered == 0; ++t) net.step();
+  EXPECT_EQ(net.metrics().packets_delivered, 1u);
+  return net.metrics().packet_latency.mean();
+}
+
+TEST(PipelineTiming, PerHopCostIsThreeCyclesUnprotected) {
+  // Each extra hop adds RC -> VA -> SA/ST (one cycle each), with link
+  // traversal overlapping the next router's RC: 3 cycles per hop.
+  const double h1 = one_packet_latency(1, OpMode::kMode0);
+  const double h2 = one_packet_latency(2, OpMode::kMode0);
+  const double h4 = one_packet_latency(4, OpMode::kMode0);
+  EXPECT_DOUBLE_EQ(h2 - h1, 3.0);
+  EXPECT_DOUBLE_EQ(h4 - h2, 6.0);
+}
+
+TEST(PipelineTiming, EccAddsOneCyclePerHop) {
+  for (const int hops : {1, 3, 5}) {
+    const double plain = one_packet_latency(hops, OpMode::kMode0);
+    const double ecc = one_packet_latency(hops, OpMode::kMode1);
+    EXPECT_DOUBLE_EQ(ecc - plain, static_cast<double>(hops));
+  }
+}
+
+TEST(PipelineTiming, RelaxedModeAddsTwoMoreCyclesPerHop) {
+  for (const int hops : {1, 3}) {
+    const double ecc = one_packet_latency(hops, OpMode::kMode1);
+    const double relaxed = one_packet_latency(hops, OpMode::kMode3);
+    EXPECT_DOUBLE_EQ(relaxed - ecc, 2.0 * hops);
+  }
+}
+
+TEST(PipelineTiming, BodyFlitsPipelineBehindHead) {
+  // A 4-flit packet finishes 3 cycles after a 1-flit packet would (one
+  // cycle of serialization per extra flit) on an idle path.
+  NocConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 2;
+  auto run = [&](int len) {
+    Network net(cfg, 1);
+    Rng rng(3);
+    net.ni(0).enqueue_packet(make_packet(1, 0, 3, len, 0, rng));
+    for (Cycle t = 0; t < 400 && net.metrics().packets_delivered == 0; ++t)
+      net.step();
+    return net.metrics().packet_latency.mean();
+  };
+  EXPECT_DOUBLE_EQ(run(4) - run(1), 3.0);
+}
+
+TEST(PipelineTiming, Mode3ThrottlesBackToBackFlits) {
+  // On one hop, a 4-flit packet in mode 3 serializes at one flit per 3
+  // cycles (channel occupancy), not one per cycle.
+  NocConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  auto run = [&](OpMode mode) {
+    Network net(cfg, 1);
+    for (NodeId r = 0; r < 4; ++r) net.router(r).set_mode(mode);
+    Rng rng(3);
+    net.ni(0).enqueue_packet(make_packet(1, 0, 1, 4, 0, rng));
+    for (Cycle t = 0; t < 400 && net.metrics().packets_delivered == 0; ++t)
+      net.step();
+    return net.metrics().packet_latency.mean();
+  };
+  // Mode 3 holds the channel 3 cycles per flit: the tail flit slips by two
+  // extra cycles per body flit behind it (6 total); the head's own +2 stall
+  // overlaps with the first body's occupancy wait.
+  EXPECT_DOUBLE_EQ(run(OpMode::kMode3) - run(OpMode::kMode1), 6.0);
+}
+
+}  // namespace
+}  // namespace rlftnoc

@@ -1,0 +1,108 @@
+#include "sim/results_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rlftnoc {
+namespace {
+
+CampaignResults sample_results() {
+  CampaignResults res;
+  res.benchmarks = {"alpha", "beta"};
+  res.policies = {PolicyKind::kStaticCrc, PolicyKind::kRl};
+  res.results.resize(2);
+  std::uint64_t n = 1;
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      SimResult r;
+      r.workload = res.benchmarks[b];
+      r.policy = policy_name(res.policies[p]);
+      r.execution_cycles = 1000 * n;
+      r.drained = true;
+      r.avg_packet_latency = 10.5 * static_cast<double>(n);
+      r.packets_injected = 100 * n;
+      r.packets_delivered = 100 * n;
+      r.flits_delivered = 400 * n;
+      r.retransmitted_flits = 7 * n;
+      r.retx_flits_e2e = 3 * n;
+      r.retx_flits_hop = 2 * n;
+      r.dup_flits = 2 * n;
+      r.crc_packet_failures = n;
+      r.dynamic_energy_pj = 1.5e6 * static_cast<double>(n);
+      r.leakage_energy_pj = 2.5e6 * static_cast<double>(n);
+      r.total_energy_pj = r.dynamic_energy_pj + r.leakage_energy_pj;
+      r.energy_efficiency = 1.25 * static_cast<double>(n);
+      r.avg_dynamic_power_w = 0.4;
+      r.avg_total_power_w = 0.9;
+      r.avg_temperature_c = 75.0;
+      r.max_temperature_c = 99.0;
+      r.mode_fraction = {0.4, 0.3, 0.2, 0.1};
+      r.rl_table_entries = 123;
+      r.dt_training_accuracy = 0.5;
+      res.results[b].push_back(std::move(r));
+      ++n;
+    }
+  }
+  return res;
+}
+
+TEST(ResultsIo, RoundTripPreservesEverything) {
+  const CampaignResults orig = sample_results();
+  std::ostringstream os;
+  write_results(os, orig);
+  std::istringstream is(os.str());
+  const CampaignResults back = read_results(is);
+
+  ASSERT_EQ(back.benchmarks, orig.benchmarks);
+  ASSERT_EQ(back.policies.size(), orig.policies.size());
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      const SimResult& a = orig.at(b, p);
+      const SimResult& c = back.at(b, p);
+      EXPECT_EQ(a.execution_cycles, c.execution_cycles);
+      EXPECT_EQ(a.drained, c.drained);
+      EXPECT_DOUBLE_EQ(a.avg_packet_latency, c.avg_packet_latency);
+      EXPECT_EQ(a.packets_delivered, c.packets_delivered);
+      EXPECT_EQ(a.retx_flits_e2e, c.retx_flits_e2e);
+      EXPECT_EQ(a.dup_flits, c.dup_flits);
+      EXPECT_DOUBLE_EQ(a.energy_efficiency, c.energy_efficiency);
+      EXPECT_DOUBLE_EQ(a.mode_fraction[2], c.mode_fraction[2]);
+      EXPECT_EQ(a.rl_table_entries, c.rl_table_entries);
+    }
+  }
+}
+
+TEST(ResultsIo, RejectsStaleHeader) {
+  std::istringstream is("wrong\theader\n1\t2\n");
+  EXPECT_THROW(read_results(is), std::runtime_error);
+}
+
+TEST(ResultsIo, RejectsEmptyFile) {
+  std::ostringstream os;
+  write_results(os, sample_results());
+  const std::string text = os.str();
+  std::istringstream header_only(text.substr(0, text.find('\n') + 1));
+  EXPECT_THROW(read_results(header_only), std::runtime_error);
+}
+
+TEST(ResultsIo, RejectsTruncatedRow) {
+  std::ostringstream os;
+  write_results(os, sample_results());
+  std::string text = os.str();
+  // Chop the last row in half.
+  text.resize(text.size() - 40);
+  std::istringstream is(text);
+  EXPECT_THROW(read_results(is), std::runtime_error);
+}
+
+TEST(ResultsIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rlftnoc_results.tsv";
+  write_results_file(path, sample_results());
+  const CampaignResults back = read_results_file(path);
+  EXPECT_EQ(back.benchmarks.size(), 2u);
+  EXPECT_THROW(read_results_file("/no/such/file.tsv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlftnoc

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "rl/agent.h"
+#include "rl/discretizer.h"
+#include "rl/qtable.h"
+
+namespace rlftnoc {
+namespace {
+
+TEST(LinearBins, EdgesAndClamping) {
+  const LinearBins b(0.0, 1.0, 5);
+  EXPECT_EQ(b.bin(-1.0), 0);
+  EXPECT_EQ(b.bin(0.0), 0);
+  EXPECT_EQ(b.bin(0.19), 0);
+  EXPECT_EQ(b.bin(0.21), 1);
+  EXPECT_EQ(b.bin(0.99), 4);
+  EXPECT_EQ(b.bin(1.0), 4);
+  EXPECT_EQ(b.bin(5.0), 4);
+}
+
+TEST(LinearBins, EvenWidths) {
+  const LinearBins b(50.0, 100.0, 5);
+  EXPECT_EQ(b.bin(54.9), 0);
+  EXPECT_EQ(b.bin(60.1), 1);
+  EXPECT_EQ(b.bin(75.0), 2);
+  EXPECT_EQ(b.bin(89.9), 3);
+  EXPECT_EQ(b.bin(95.0), 4);
+}
+
+TEST(LogBins, DecadesAndZeros) {
+  const LogBins b(1e-3, 0.5, 4);
+  EXPECT_EQ(b.bin(0.0), 0);
+  EXPECT_EQ(b.bin(-0.1), 0);
+  EXPECT_EQ(b.bin(5e-4), 0);
+  EXPECT_EQ(b.bin(1e-3), 0);
+  EXPECT_EQ(b.bin(0.5), 3);
+  EXPECT_EQ(b.bin(0.9), 3);
+  // Monotone between the edges.
+  int prev = 0;
+  for (double x = 1e-3; x < 0.5; x *= 1.5) {
+    const int cur = b.bin(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(QTable, RowInitialization) {
+  QTable t(2.5);
+  const DiscreteState s{1, 2, 3};
+  EXPECT_EQ(t.find(s), nullptr);
+  EXPECT_DOUBLE_EQ(t.max_q(s), 2.5);
+  QTable::Row& row = t.row(s);
+  for (const double q : row.q) EXPECT_DOUBLE_EQ(q, 2.5);
+  for (const auto n : row.visits) EXPECT_EQ(n, 0u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(QTable, ArgmaxPicksLargest) {
+  QTable t(0.0);
+  const DiscreteState s{1};
+  t.row(s).q = {0.1, 0.9, 0.3, 0.2};
+  EXPECT_EQ(t.argmax(s), 1);
+}
+
+TEST(QTable, ArgmaxTieBreaksLowestIndex) {
+  QTable t(0.0);
+  const DiscreteState s{1};
+  t.row(s).q = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_EQ(t.argmax(s), 0);
+}
+
+TEST(QTable, ConfidencePenaltyDemotesUndersampled) {
+  QTable t(0.0);
+  const DiscreteState s{1};
+  QTable::Row& r = t.row(s);
+  r.q = {0.9, 1.0, 0.0, 0.0};   // action 1 looks best...
+  r.visits = {100, 1, 1, 1};    // ...from a single sample
+  EXPECT_EQ(t.argmax(s, 0.0), 1);
+  EXPECT_EQ(t.argmax(s, 0.5), 0);  // 1.0 - 0.5/1 < 0.9 - 0.05
+}
+
+TEST(QTable, ActionCostPriorBreaksNearTies) {
+  QTable t(0.0);
+  const DiscreteState s{1};
+  QTable::Row& r = t.row(s);
+  r.q = {1.00, 1.01, 1.02, 1.03};
+  r.visits = {100, 100, 100, 100};
+  EXPECT_EQ(t.argmax(s, 0.0, 0.0), 3);
+  EXPECT_EQ(t.argmax(s, 0.0, 0.05), 0);  // prior 0.05*a outweighs 0.01*a gaps
+}
+
+TEST(QTable, UnvisitedArgmaxIsModeZero) {
+  QTable t(5.0);
+  EXPECT_EQ(t.argmax(DiscreteState{9, 9}), 0);
+}
+
+TEST(Agent, UpdateMovesTowardTarget) {
+  QLearningParams p;
+  p.alpha = 0.5;
+  p.gamma = 0.0;
+  p.optimistic_init = 0.0;
+  QLearningAgent a(p, 1, "t");
+  const DiscreteState s{0};
+  const DiscreteState s2{1};
+  a.update(s, 2, 1.0, s2);  // first visit: rate = max(0.5, 1/1) = 1
+  EXPECT_DOUBLE_EQ(a.table().find(s)->q[2], 1.0);
+  a.update(s, 2, 0.0, s2);  // second: rate = 0.5
+  EXPECT_DOUBLE_EQ(a.table().find(s)->q[2], 0.5);
+}
+
+TEST(Agent, CountBasedRateDecaysToAlpha) {
+  QLearningParams p;
+  p.alpha = 0.1;
+  p.gamma = 0.0;
+  p.optimistic_init = 0.0;
+  QLearningAgent a(p, 1, "t");
+  const DiscreteState s{0};
+  for (int i = 0; i < 50; ++i) a.update(s, 0, 1.0, s);
+  // Converged to the constant reward.
+  EXPECT_NEAR(a.table().find(s)->q[0], 1.0, 1e-3);
+  EXPECT_EQ(a.table().find(s)->visits[0], 50u);
+}
+
+TEST(Agent, BanditConvergesToBestAction) {
+  QLearningParams p;
+  p.gamma = 0.0;
+  p.epsilon = 0.2;
+  p.optimistic_init = 2.0;
+  p.confidence_penalty = 0.0;
+  p.action_cost_prior = 0.0;
+  QLearningAgent a(p, 7, "bandit");
+  const DiscreteState s{0};
+  // Deterministic rewards: action 2 pays the most.
+  const double reward[4] = {0.2, 0.5, 1.0, 0.4};
+  for (int step = 0; step < 500; ++step) {
+    const int act = a.select_action(s);
+    a.update(s, act, reward[act], s);
+  }
+  EXPECT_EQ(a.greedy_action(s), 2);
+  EXPECT_NEAR(a.table().find(s)->q[2], 1.0, 0.05);
+}
+
+TEST(Agent, OptimisticInitForcesTryingEveryAction) {
+  QLearningParams p;
+  p.gamma = 0.0;
+  p.epsilon = 0.0;  // no random exploration: only optimism drives it
+  p.optimistic_init = 10.0;
+  p.confidence_penalty = 0.0;
+  p.action_cost_prior = 0.0;
+  QLearningAgent a(p, 7, "optimism");
+  const DiscreteState s{0};
+  for (int step = 0; step < 8; ++step) {
+    const int act = a.select_action(s);
+    a.update(s, act, 0.5, s);
+  }
+  const QTable::Row* r = a.table().find(s);
+  for (const auto n : r->visits) EXPECT_GE(n, 1u);
+}
+
+TEST(Agent, GammaPropagatesSuccessorValue) {
+  QLearningParams p;
+  p.alpha = 1.0;
+  p.gamma = 0.5;
+  p.optimistic_init = 0.0;
+  QLearningAgent a(p, 1, "t");
+  const DiscreteState s1{1};
+  const DiscreteState s2{2};
+  a.update(s2, 0, 4.0, s2);  // Q(s2,0) -> 4 + 0.5*0 = 4... first rate=1
+  a.update(s1, 0, 1.0, s2);  // target = 1 + 0.5 * 4 = 3
+  EXPECT_DOUBLE_EQ(a.table().find(s1)->q[0], 3.0);
+}
+
+TEST(Agent, ExplorationTogglesOff) {
+  QLearningParams p;
+  p.epsilon = 1.0;  // always explore when enabled
+  p.optimistic_init = 0.0;
+  QLearningAgent a(p, 3, "t");
+  const DiscreteState s{0};
+  a.table().row(s).q = {9.0, 0.0, 0.0, 0.0};
+  a.set_exploring(false);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.select_action(s), 0);
+  a.set_exploring(true);
+  int nonzero = 0;
+  for (int i = 0; i < 200; ++i) nonzero += a.select_action(s) != 0 ? 1 : 0;
+  EXPECT_GT(nonzero, 100);
+}
+
+TEST(Agent, DeterministicWithSameSeed) {
+  QLearningParams p;
+  QLearningAgent a(p, 5, "same");
+  QLearningAgent b(p, 5, "same");
+  const DiscreteState s{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.select_action(s), b.select_action(s));
+}
+
+}  // namespace
+}  // namespace rlftnoc

@@ -1,0 +1,176 @@
+#include "coding/secded.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rlftnoc {
+namespace {
+
+TEST(Secded, CleanRoundTrip) {
+  const Secded7264& c = default_secded();
+  for (const std::uint64_t data :
+       {0ULL, ~0ULL, 0x1ULL, 0x8000000000000000ULL, 0xdeadbeefcafebabeULL}) {
+    const SecdedWord w = c.encode(data);
+    const SecdedDecode d = c.decode(w.data, w.check);
+    EXPECT_EQ(d.status, SecdedStatus::kClean);
+    EXPECT_EQ(d.data, data);
+    EXPECT_EQ(d.check, w.check);
+    EXPECT_EQ(d.syndrome, 0);
+  }
+}
+
+/// Property: every single data-bit error is corrected back to the original.
+class SecdedDataBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecdedDataBitSweep, CorrectsSingleDataBitError) {
+  const Secded7264& c = default_secded();
+  const std::uint64_t data = 0xa5a5a5a5c3c3c3c3ULL;
+  const SecdedWord w = c.encode(data);
+  const std::uint64_t corrupted = data ^ (1ULL << GetParam());
+  const SecdedDecode d = c.decode(corrupted, w.check);
+  EXPECT_EQ(d.status, SecdedStatus::kCorrected);
+  EXPECT_EQ(d.data, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataBits, SecdedDataBitSweep, ::testing::Range(0, 64));
+
+/// Property: every single check-bit error is recognized and repaired.
+class SecdedCheckBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecdedCheckBitSweep, CorrectsSingleCheckBitError) {
+  const Secded7264& c = default_secded();
+  const std::uint64_t data = 0x0f0f0f0f12345678ULL;
+  const SecdedWord w = c.encode(data);
+  const auto corrupted_check =
+      static_cast<std::uint8_t>(w.check ^ (1u << GetParam()));
+  const SecdedDecode d = c.decode(data, corrupted_check);
+  EXPECT_EQ(d.status, SecdedStatus::kCorrected);
+  EXPECT_EQ(d.data, data);
+  EXPECT_EQ(d.check, w.check);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCheckBits, SecdedCheckBitSweep, ::testing::Range(0, 8));
+
+TEST(Secded, DetectsAllDoubleDataBitErrors) {
+  const Secded7264& c = default_secded();
+  const std::uint64_t data = 0x5566778899aabbccULL;
+  const SecdedWord w = c.encode(data);
+  for (int i = 0; i < 64; ++i) {
+    for (int j = i + 1; j < 64; j += 7) {  // strided to keep runtime sane
+      const std::uint64_t corrupted = data ^ (1ULL << i) ^ (1ULL << j);
+      const SecdedDecode d = c.decode(corrupted, w.check);
+      EXPECT_EQ(d.status, SecdedStatus::kUncorrectable)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, DetectsDataPlusCheckDoubleErrors) {
+  const Secded7264& c = default_secded();
+  const std::uint64_t data = 0x1020304050607080ULL;
+  const SecdedWord w = c.encode(data);
+  for (int i = 0; i < 64; i += 5) {
+    for (int j = 0; j < 8; ++j) {
+      const std::uint64_t bad_data = data ^ (1ULL << i);
+      const auto bad_check = static_cast<std::uint8_t>(w.check ^ (1u << j));
+      const SecdedDecode d = c.decode(bad_data, bad_check);
+      EXPECT_EQ(d.status, SecdedStatus::kUncorrectable)
+          << "data bit " << i << " check bit " << j;
+    }
+  }
+}
+
+TEST(Secded, TripleErrorsNeverReportClean) {
+  // Triple errors may miscorrect (that is physics), but they must never
+  // decode as kClean: odd parity guarantees at least a correction attempt.
+  const Secded7264& c = default_secded();
+  Rng rng(99);
+  const std::uint64_t data = rng.next_u64();
+  const SecdedWord w = c.encode(data);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::uint64_t bad = data;
+    int bits[3];
+    bits[0] = static_cast<int>(rng.next_below(64));
+    do { bits[1] = static_cast<int>(rng.next_below(64)); } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<int>(rng.next_below(64));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    for (const int b : bits) bad ^= 1ULL << b;
+    const SecdedDecode d = c.decode(bad, w.check);
+    EXPECT_NE(d.status, SecdedStatus::kClean);
+  }
+}
+
+TEST(Secded, EncodeIsDeterministicAndCheckBitsVary) {
+  const Secded7264& c = default_secded();
+  EXPECT_EQ(c.encode(123).check, c.encode(123).check);
+  // Different data should usually yield different check bits.
+  int distinct = 0;
+  std::uint8_t prev = c.encode(0).check;
+  for (std::uint64_t d = 1; d < 64; ++d) {
+    const std::uint8_t cur = c.encode(d).check;
+    if (cur != prev) ++distinct;
+    prev = cur;
+  }
+  EXPECT_GT(distinct, 32);
+}
+
+TEST(FlitEcc, CleanFlitRoundTrip) {
+  const BitVec128 payload(0x1122334455667788ULL, 0x99aabbccddeeff00ULL);
+  const FlitEcc ecc = encode_flit_ecc(default_secded(), payload);
+  const FlitEccDecode d = decode_flit_ecc(default_secded(), payload, ecc);
+  EXPECT_EQ(d.status, SecdedStatus::kClean);
+  EXPECT_EQ(d.payload, payload);
+}
+
+TEST(FlitEcc, CorrectsOneErrorPerWordIndependently) {
+  const BitVec128 payload(0xf00dULL, 0xbeefULL);
+  const FlitEcc ecc = encode_flit_ecc(default_secded(), payload);
+  BitVec128 bad = payload;
+  bad.flip_bit(10);   // word 0
+  bad.flip_bit(100);  // word 1
+  const FlitEccDecode d = decode_flit_ecc(default_secded(), bad, ecc);
+  EXPECT_EQ(d.status, SecdedStatus::kCorrected);
+  EXPECT_TRUE(d.word0_corrected);
+  EXPECT_TRUE(d.word1_corrected);
+  EXPECT_EQ(d.payload, payload);
+}
+
+TEST(FlitEcc, DoubleErrorInOneWordIsUncorrectable) {
+  const BitVec128 payload(0x1234ULL, 0x5678ULL);
+  const FlitEcc ecc = encode_flit_ecc(default_secded(), payload);
+  BitVec128 bad = payload;
+  bad.flip_bit(3);
+  bad.flip_bit(40);  // both in word 0
+  const FlitEccDecode d = decode_flit_ecc(default_secded(), bad, ecc);
+  EXPECT_EQ(d.status, SecdedStatus::kUncorrectable);
+}
+
+TEST(FlitEcc, CheckBitCorruptionHandled) {
+  const BitVec128 payload(42, 43);
+  FlitEcc ecc = encode_flit_ecc(default_secded(), payload);
+  ecc.check1 = static_cast<std::uint8_t>(ecc.check1 ^ 0x04);
+  const FlitEccDecode d = decode_flit_ecc(default_secded(), payload, ecc);
+  EXPECT_EQ(d.status, SecdedStatus::kCorrected);
+  EXPECT_EQ(d.payload, payload);
+  EXPECT_EQ(d.ecc, encode_flit_ecc(default_secded(), payload));
+}
+
+TEST(FlitEcc, RandomizedCorrectionProperty) {
+  // For random payloads and one random flip, the decode must restore the
+  // original payload exactly.
+  Rng rng(1234);
+  for (int trial = 0; trial < 500; ++trial) {
+    const BitVec128 payload(rng.next_u64(), rng.next_u64());
+    const FlitEcc ecc = encode_flit_ecc(default_secded(), payload);
+    BitVec128 bad = payload;
+    bad.flip_bit(static_cast<std::size_t>(rng.next_below(128)));
+    const FlitEccDecode d = decode_flit_ecc(default_secded(), bad, ecc);
+    EXPECT_EQ(d.status, SecdedStatus::kCorrected);
+    EXPECT_EQ(d.payload, payload);
+  }
+}
+
+}  // namespace
+}  // namespace rlftnoc

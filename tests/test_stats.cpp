@@ -1,0 +1,152 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlftnoc {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StatAccumulator, BasicMoments) {
+  StatAccumulator s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatAccumulator, SingleSample) {
+  StatAccumulator s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MergeMatchesCombined) {
+  StatAccumulator all;
+  StatAccumulator a;
+  StatAccumulator b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatAccumulator, MergeWithEmpty) {
+  StatAccumulator a;
+  a.add(1.0);
+  StatAccumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(StatAccumulator, Reset) {
+  StatAccumulator s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Ema, FirstSamplePrimes) {
+  Ema e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.add(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ema, Blending) {
+  Ema e(0.5);
+  e.add(10.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(5.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  Ema e(0.25);
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(8.0);
+  EXPECT_NEAR(e.value(), 8.0, 1e-9);
+}
+
+TEST(Ema, Reset) {
+  Ema e(0.5);
+  e.add(3.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+  EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(Histogram, BucketPlacement) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OverUnderflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(11.0);
+  h.add(10.0);  // hi edge is exclusive -> overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(CounterSet, BumpAndGet) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.bump("x");
+  c.bump("x", 4);
+  c.bump("y");
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 1u);
+  EXPECT_EQ(c.all().size(), 2u);
+  c.reset();
+  EXPECT_EQ(c.get("x"), 0u);
+}
+
+}  // namespace
+}  // namespace rlftnoc

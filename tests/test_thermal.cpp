@@ -1,0 +1,134 @@
+#include "thermal/hotspot_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rlftnoc {
+namespace {
+
+TEST(Thermal, StartsAtAmbient) {
+  ThermalGrid g(4, 4);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(g.temperature(i), g.params().ambient_c);
+}
+
+TEST(Thermal, InvalidArgumentsThrow) {
+  EXPECT_THROW(ThermalGrid(0, 4), std::invalid_argument);
+  ThermalParams bad;
+  bad.r_ambient = -1.0;
+  EXPECT_THROW(ThermalGrid(2, 2, bad), std::invalid_argument);
+}
+
+TEST(Thermal, UniformPowerSteadyState) {
+  // With equal power everywhere, no lateral flow: T = ambient + P * R_amb.
+  ThermalParams p;
+  ThermalGrid g(4, 4, p);
+  for (int i = 0; i < 16; ++i) g.set_power(i, 0.4);
+  g.settle(1e-6);
+  const double expected = p.ambient_c + 0.4 * p.r_ambient;
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(g.temperature(i), expected, 0.05);
+}
+
+TEST(Thermal, HeatFlowsTowardNeighbors) {
+  ThermalGrid g(3, 3);
+  g.set_power(4, 0.8);  // center only
+  g.settle(1e-6);
+  const double center = g.temperature(4);
+  const double edge = g.temperature(1);
+  const double corner = g.temperature(0);
+  EXPECT_GT(center, edge);
+  EXPECT_GT(edge, corner);
+  EXPECT_GT(corner, g.params().ambient_c - 1e-9);
+}
+
+TEST(Thermal, NoPowerStaysAtAmbient) {
+  ThermalGrid g(2, 2);
+  for (int i = 0; i < 100; ++i) g.step();
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(g.temperature(i), g.params().ambient_c, 1e-9);
+}
+
+TEST(Thermal, MonotoneHeatingUnderConstantPower) {
+  ThermalGrid g(2, 2);
+  g.set_power(0, 0.5);
+  double prev = g.temperature(0);
+  for (int i = 0; i < 50; ++i) {
+    g.step();
+    const double t = g.temperature(0);
+    EXPECT_GE(t, prev - 1e-12);
+    prev = t;
+  }
+  EXPECT_GT(prev, g.params().ambient_c + 1.0);
+}
+
+TEST(Thermal, CoolsAfterPowerRemoved) {
+  ThermalGrid g(2, 2);
+  for (int i = 0; i < 4; ++i) g.set_power(i, 0.6);
+  g.settle(1e-6);
+  const double hot = g.temperature(0);
+  for (int i = 0; i < 4; ++i) g.set_power(i, 0.0);
+  g.settle(1e-6);
+  EXPECT_LT(g.temperature(0), hot);
+  EXPECT_NEAR(g.temperature(0), g.params().ambient_c, 0.05);
+}
+
+TEST(Thermal, ThrottleCeilingHolds) {
+  ThermalParams p;
+  p.max_temp_c = 100.0;
+  ThermalGrid g(2, 2, p);
+  for (int i = 0; i < 4; ++i) g.set_power(i, 50.0);  // absurd power
+  g.settle(1e-4, 50000);
+  for (int i = 0; i < 4; ++i) EXPECT_LE(g.temperature(i), 100.0 + 1e-9);
+}
+
+TEST(Thermal, NegativePowerClampedToZero) {
+  ThermalGrid g(2, 2);
+  g.set_power(0, -5.0);
+  g.settle(1e-6);
+  EXPECT_NEAR(g.temperature(0), g.params().ambient_c, 1e-6);
+}
+
+TEST(Thermal, ResetRestoresAmbient) {
+  ThermalGrid g(2, 2);
+  g.set_power(0, 1.0);
+  g.step();
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.temperature(0), g.params().ambient_c);
+  g.step();  // power was cleared too
+  EXPECT_DOUBLE_EQ(g.temperature(0), g.params().ambient_c);
+}
+
+TEST(Thermal, SettleReportsConvergence) {
+  ThermalGrid g(2, 2);
+  g.set_power(0, 0.2);
+  const int steps = g.settle(1e-7, 100000);
+  EXPECT_LT(steps, 100000);
+  EXPECT_GT(steps, 1);
+}
+
+TEST(Thermal, OutOfRangeNodeThrows) {
+  ThermalGrid g(2, 2);
+  EXPECT_THROW(g.temperature(4), std::out_of_range);
+  EXPECT_THROW(g.set_power(-1, 1.0), std::out_of_range);
+}
+
+/// Steady-state superposition sanity on a larger grid: doubling all power
+/// doubles the rise over ambient (the RC network is linear).
+TEST(Thermal, LinearityOfSteadyState) {
+  ThermalGrid a(4, 4);
+  ThermalGrid b(4, 4);
+  for (int i = 0; i < 16; ++i) {
+    const double w = 0.05 * (i % 4);
+    a.set_power(i, w);
+    b.set_power(i, 2.0 * w);
+  }
+  a.settle(1e-7);
+  b.settle(1e-7);
+  for (int i = 0; i < 16; ++i) {
+    const double rise_a = a.temperature(i) - a.params().ambient_c;
+    const double rise_b = b.temperature(i) - b.params().ambient_c;
+    EXPECT_NEAR(rise_b, 2.0 * rise_a, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace rlftnoc

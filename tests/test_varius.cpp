@@ -1,0 +1,94 @@
+#include "fault/varius.h"
+
+#include <gtest/gtest.h>
+
+namespace rlftnoc {
+namespace {
+
+TEST(Varius, NormalCdfReference) {
+  EXPECT_NEAR(VariusModel::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(VariusModel::normal_cdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(VariusModel::normal_cdf(-1.0), 0.1586553, 1e-6);
+  EXPECT_NEAR(VariusModel::normal_cdf(3.0), 0.9986501, 1e-6);
+}
+
+TEST(Varius, DelayGrowsWithTemperature) {
+  const VariusModel m;
+  double prev = 0.0;
+  for (double t = 50.0; t <= 110.0; t += 10.0) {
+    const double d = m.mean_path_delay(t, 0.1, 1.0);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Varius, DelayGrowsWithUtilization) {
+  const VariusModel m;
+  EXPECT_LT(m.mean_path_delay(80.0, 0.0, 1.0), m.mean_path_delay(80.0, 0.3, 1.0));
+}
+
+TEST(Varius, DelayShrinksWithVoltage) {
+  const VariusModel m;
+  EXPECT_GT(m.mean_path_delay(80.0, 0.1, 0.9), m.mean_path_delay(80.0, 0.1, 1.1));
+}
+
+TEST(Varius, UtilizationClamped) {
+  const VariusModel m;
+  EXPECT_DOUBLE_EQ(m.mean_path_delay(80.0, 1.5, 1.0), m.mean_path_delay(80.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(m.mean_path_delay(80.0, -0.5, 1.0), m.mean_path_delay(80.0, 0.0, 1.0));
+}
+
+TEST(Varius, ErrorProbabilityMonotoneInTemperature) {
+  const VariusModel m;
+  double prev = 0.0;
+  for (double t = 50.0; t <= 110.0; t += 5.0) {
+    const double p = m.flit_error_probability(t, 0.1, 1.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Varius, CalibratedOperatingBand) {
+  // The defaults must span the regimes that motivate the four modes:
+  // harmless when cool, material when hot.
+  const VariusModel m;
+  EXPECT_LT(m.flit_error_probability(50.0, 0.0, 1.0), 2e-3);
+  EXPECT_GT(m.flit_error_probability(100.0, 0.3, 1.0), 2e-2);
+  EXPECT_LT(m.flit_error_probability(110.0, 0.3, 1.0), 0.3);
+}
+
+TEST(Varius, RelaxedTimingCollapsesErrorProbability) {
+  const VariusModel m;
+  const double normal = m.flit_error_probability(105.0, 0.3, 1.0, 1.0);
+  const double relaxed = m.flit_error_probability(105.0, 0.3, 1.0, 2.0);
+  EXPECT_GT(normal, 1e-3);
+  EXPECT_LT(relaxed, 1e-9);
+}
+
+TEST(Varius, ProbabilityBounded) {
+  const VariusModel m;
+  for (double t = 0.0; t < 400.0; t += 25.0) {
+    const double p = m.flit_error_probability(t, 0.3, 0.6);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(Varius, MultibitParamMonotoneAndCapped) {
+  const VariusModel m;
+  EXPECT_LE(m.multibit_param(0.001), m.multibit_param(0.1));
+  EXPECT_LE(m.multibit_param(0.9), m.params().multibit_cap);
+  EXPECT_GE(m.multibit_param(0.0), m.params().multibit_base);
+}
+
+TEST(Varius, CustomParamsRespected) {
+  VariusParams p;
+  p.nominal_delay = 0.5;
+  p.sigma = 0.01;
+  const VariusModel m(p);
+  // Huge slack: error probability at the clamp floor.
+  EXPECT_LE(m.flit_error_probability(50.0, 0.0, 1.0), 1e-11);
+}
+
+}  // namespace
+}  // namespace rlftnoc
