@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_report.dir/rlftnoc_report.cpp.o"
+  "CMakeFiles/rlftnoc_report.dir/rlftnoc_report.cpp.o.d"
+  "rlftnoc_report"
+  "rlftnoc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_run.dir/rlftnoc_run.cpp.o"
+  "CMakeFiles/rlftnoc_run.dir/rlftnoc_run.cpp.o.d"
+  "rlftnoc_run"
+  "rlftnoc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

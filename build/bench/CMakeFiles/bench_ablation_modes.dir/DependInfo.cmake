@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_modes.cpp" "bench/CMakeFiles/bench_ablation_modes.dir/bench_ablation_modes.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_modes.dir/bench_ablation_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rlftnoc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlftnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftnoc/CMakeFiles/rlftnoc_ftnoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/rlftnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rlftnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rlftnoc_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rlftnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/rlftnoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/rlftnoc_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlftnoc_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dt/CMakeFiles/rlftnoc_dt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlftnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_retransmission.dir/bench_fig6_retransmission.cpp.o"
+  "CMakeFiles/bench_fig6_retransmission.dir/bench_fig6_retransmission.cpp.o.d"
+  "bench_fig6_retransmission"
+  "bench_fig6_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mode_map.dir/bench_mode_map.cpp.o"
+  "CMakeFiles/bench_mode_map.dir/bench_mode_map.cpp.o.d"
+  "bench_mode_map"
+  "bench_mode_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mode_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

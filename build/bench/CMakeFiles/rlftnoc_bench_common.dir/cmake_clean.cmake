@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/rlftnoc_bench_common.dir/bench_common.cpp.o.d"
+  "librlftnoc_bench_common.a"
+  "librlftnoc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_coding.dir/crc.cpp.o"
+  "CMakeFiles/rlftnoc_coding.dir/crc.cpp.o.d"
+  "CMakeFiles/rlftnoc_coding.dir/secded.cpp.o"
+  "CMakeFiles/rlftnoc_coding.dir/secded.cpp.o.d"
+  "librlftnoc_coding.a"
+  "librlftnoc_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_common.dir/bitvec.cpp.o"
+  "CMakeFiles/rlftnoc_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/rlftnoc_common.dir/config.cpp.o"
+  "CMakeFiles/rlftnoc_common.dir/config.cpp.o.d"
+  "CMakeFiles/rlftnoc_common.dir/log.cpp.o"
+  "CMakeFiles/rlftnoc_common.dir/log.cpp.o.d"
+  "CMakeFiles/rlftnoc_common.dir/rng.cpp.o"
+  "CMakeFiles/rlftnoc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rlftnoc_common.dir/stats.cpp.o"
+  "CMakeFiles/rlftnoc_common.dir/stats.cpp.o.d"
+  "librlftnoc_common.a"
+  "librlftnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_dt.dir/decision_tree.cpp.o"
+  "CMakeFiles/rlftnoc_dt.dir/decision_tree.cpp.o.d"
+  "librlftnoc_dt.a"
+  "librlftnoc_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

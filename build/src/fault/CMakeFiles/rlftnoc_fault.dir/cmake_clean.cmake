@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_fault.dir/injector.cpp.o"
+  "CMakeFiles/rlftnoc_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/rlftnoc_fault.dir/varius.cpp.o"
+  "CMakeFiles/rlftnoc_fault.dir/varius.cpp.o.d"
+  "librlftnoc_fault.a"
+  "librlftnoc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlftnoc_fault.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_ftnoc.dir/controller.cpp.o"
+  "CMakeFiles/rlftnoc_ftnoc.dir/controller.cpp.o.d"
+  "CMakeFiles/rlftnoc_ftnoc.dir/rl_policy.cpp.o"
+  "CMakeFiles/rlftnoc_ftnoc.dir/rl_policy.cpp.o.d"
+  "librlftnoc_ftnoc.a"
+  "librlftnoc_ftnoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_ftnoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

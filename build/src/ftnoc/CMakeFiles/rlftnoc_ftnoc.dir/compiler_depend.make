@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rlftnoc_ftnoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_noc.dir/network.cpp.o"
+  "CMakeFiles/rlftnoc_noc.dir/network.cpp.o.d"
+  "CMakeFiles/rlftnoc_noc.dir/ni.cpp.o"
+  "CMakeFiles/rlftnoc_noc.dir/ni.cpp.o.d"
+  "CMakeFiles/rlftnoc_noc.dir/router.cpp.o"
+  "CMakeFiles/rlftnoc_noc.dir/router.cpp.o.d"
+  "CMakeFiles/rlftnoc_noc.dir/routing.cpp.o"
+  "CMakeFiles/rlftnoc_noc.dir/routing.cpp.o.d"
+  "librlftnoc_noc.a"
+  "librlftnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_power.dir/orion_lite.cpp.o"
+  "CMakeFiles/rlftnoc_power.dir/orion_lite.cpp.o.d"
+  "librlftnoc_power.a"
+  "librlftnoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

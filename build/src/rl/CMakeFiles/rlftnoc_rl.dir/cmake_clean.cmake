@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_rl.dir/qtable_io.cpp.o"
+  "CMakeFiles/rlftnoc_rl.dir/qtable_io.cpp.o.d"
+  "librlftnoc_rl.a"
+  "librlftnoc_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

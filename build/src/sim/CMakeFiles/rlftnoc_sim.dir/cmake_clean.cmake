@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_sim.dir/campaign.cpp.o"
+  "CMakeFiles/rlftnoc_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/rlftnoc_sim.dir/options_io.cpp.o"
+  "CMakeFiles/rlftnoc_sim.dir/options_io.cpp.o.d"
+  "CMakeFiles/rlftnoc_sim.dir/results_io.cpp.o"
+  "CMakeFiles/rlftnoc_sim.dir/results_io.cpp.o.d"
+  "CMakeFiles/rlftnoc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rlftnoc_sim.dir/simulator.cpp.o.d"
+  "librlftnoc_sim.a"
+  "librlftnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

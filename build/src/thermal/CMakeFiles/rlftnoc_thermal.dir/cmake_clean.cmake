@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_thermal.dir/hotspot_lite.cpp.o"
+  "CMakeFiles/rlftnoc_thermal.dir/hotspot_lite.cpp.o.d"
+  "librlftnoc_thermal.a"
+  "librlftnoc_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

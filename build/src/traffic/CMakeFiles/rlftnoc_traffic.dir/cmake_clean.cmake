@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlftnoc_traffic.dir/parsec.cpp.o"
+  "CMakeFiles/rlftnoc_traffic.dir/parsec.cpp.o.d"
+  "CMakeFiles/rlftnoc_traffic.dir/trace.cpp.o"
+  "CMakeFiles/rlftnoc_traffic.dir/trace.cpp.o.d"
+  "CMakeFiles/rlftnoc_traffic.dir/traffic.cpp.o"
+  "CMakeFiles/rlftnoc_traffic.dir/traffic.cpp.o.d"
+  "librlftnoc_traffic.a"
+  "librlftnoc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlftnoc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

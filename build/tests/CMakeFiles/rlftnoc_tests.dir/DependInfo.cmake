@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitvec.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_bitvec.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_crc.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_crc.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_crc.cpp.o.d"
+  "/root/repo/tests/test_dt.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_dt.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_dt.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_injector.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_injector.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_injector.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_link_arq.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_link_arq.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_link_arq.cpp.o.d"
+  "/root/repo/tests/test_network_basic.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_network_basic.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_network_basic.cpp.o.d"
+  "/root/repo/tests/test_network_faults.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_network_faults.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_network_faults.cpp.o.d"
+  "/root/repo/tests/test_options_io.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_options_io.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_options_io.cpp.o.d"
+  "/root/repo/tests/test_percentiles.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_percentiles.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_percentiles.cpp.o.d"
+  "/root/repo/tests/test_pipeline_timing.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_pipeline_timing.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_pipeline_timing.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_qtable_io.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_qtable_io.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_qtable_io.cpp.o.d"
+  "/root/repo/tests/test_results_io.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_results_io.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_results_io.cpp.o.d"
+  "/root/repo/tests/test_rl.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_rl.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_rl.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_secded.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_secded.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_secded.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_varius.cpp" "tests/CMakeFiles/rlftnoc_tests.dir/test_varius.cpp.o" "gcc" "tests/CMakeFiles/rlftnoc_tests.dir/test_varius.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rlftnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftnoc/CMakeFiles/rlftnoc_ftnoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rlftnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/rlftnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlftnoc_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dt/CMakeFiles/rlftnoc_dt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rlftnoc_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rlftnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/rlftnoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/rlftnoc_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlftnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
