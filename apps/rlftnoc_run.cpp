@@ -1,7 +1,7 @@
 // rlftnoc_run — config-file-driven simulation CLI.
 //
 // Usage:
-//   rlftnoc_run <config-file> [key=value overrides ...]
+//   rlftnoc_run <config-file> [--jobs N] [key=value overrides ...]
 //   rlftnoc_run --dump-defaults
 //
 // Config keys (all optional; defaults reproduce the paper's setup):
@@ -9,6 +9,7 @@
 //   workload      = <parsec name> | uniform | transpose | hotspot | ...
 //   trace         = <path>           (overrides workload: replay a trace)
 //   seed          = 1
+//   jobs          = 1                (campaign-mode parallelism; also --jobs N)
 //   injection_rate= 0.06             (synthetic workloads)
 //   packets       = 50000            (synthetic workloads)
 //   budget_pct    = 100              (PARSEC workloads)
@@ -17,13 +18,26 @@
 //   rl_save       = <path>           (persist learned Q-tables after the run)
 //   rl_load       = <path>           (start from previously saved Q-tables)
 //   noc.mesh_width / noc.mesh_height / noc.vcs_per_port / ... (see NocConfig)
+//
+// Campaign mode (runs a benchmark x policy grid instead of one simulation):
+//   campaign      = all | <bench1,bench2,...>
+//   policies      = crc,arq,dt,rl     (default: the paper's four)
+//   results_out   = <path>            (write the raw results TSV)
+// `jobs` (or --jobs N) sets how many (benchmark, policy) runs execute
+// concurrently; each run derives its own seed, so any value of jobs yields
+// bit-identical results.
 #include <cstdio>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "ftnoc/rl_policy.h"
+#include "sim/campaign.h"
 #include "sim/options_io.h"
+#include "sim/results_io.h"
 #include "sim/simulator.h"
 #include "traffic/parsec.h"
 #include "traffic/trace.h"
@@ -32,6 +46,46 @@
 using namespace rlftnoc;
 
 namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int run_campaign_mode(const Config& cfg, const SimOptions& opt) {
+  std::vector<std::string> benchmarks;
+  const std::string spec = cfg.get_string("campaign");
+  if (spec == "all") {
+    for (const ParsecProfile& p : parsec_suite()) benchmarks.push_back(p.name);
+  } else {
+    benchmarks = split_csv(spec);
+  }
+  if (benchmarks.empty()) throw ConfigError("campaign: empty benchmark list");
+
+  std::vector<PolicyKind> policies;
+  for (const std::string& p : split_csv(cfg.get_string("policies", "crc,arq,dt,rl")))
+    policies.push_back(policy_from_string(p));
+  if (policies.empty()) throw ConfigError("policies: empty policy list");
+
+  const auto budget =
+      static_cast<std::uint64_t>(cfg.get_int("budget_pct", 100));
+  const CampaignResults res = run_campaign(opt, benchmarks, policies, budget);
+  if (cfg.contains("results_out"))
+    write_results_file(cfg.get_string("results_out"), res);
+
+  print_normalized_table(std::cout, res, "execution time (lower = faster)",
+                         metric_exec_speedup_inverse, false);
+  print_normalized_table(std::cout, res, "avg end-to-end latency",
+                         metric_latency, false);
+  print_normalized_table(std::cout, res, "energy efficiency",
+                         metric_energy_efficiency, true);
+  return 0;
+}
 
 std::unique_ptr<TrafficGenerator> make_workload(const Config& cfg,
                                                 const SimOptions& opt) {
@@ -80,6 +134,9 @@ void print_result(const SimResult& r) {
   std::printf("packets delivered   %llu / %llu injected\n",
               static_cast<unsigned long long>(r.packets_delivered),
               static_cast<unsigned long long>(r.packets_injected));
+  if (r.enqueue_drops > 0)
+    std::printf("enqueue drops       %llu (source NI queues overflowed)\n",
+                static_cast<unsigned long long>(r.enqueue_drops));
   std::printf("avg e2e latency     %.2f cycles\n", r.avg_packet_latency);
   std::printf("fault retx flits    %llu (e2e %llu, link %llu)\n",
               static_cast<unsigned long long>(r.retx_flits_e2e + r.retx_flits_hop),
@@ -110,12 +167,22 @@ int main(int argc, char** argv) {
           "# noc.mesh_width = 8\n# noc.vcs_per_port = 4\n");
       return 0;
     }
-    if (argc > 1 && std::string(argv[1]).find('=') == std::string::npos) {
+    if (argc > 1 && std::string(argv[1]).find('=') == std::string::npos &&
+        std::string(argv[1]).rfind("--", 0) != 0) {
       cfg = Config::from_file(argv[1]);
       first_override = 2;
     }
     for (int i = first_override; i < argc; ++i) {
       const std::string kv = argv[i];
+      if (kv == "--jobs") {
+        if (i + 1 >= argc) throw ConfigError("--jobs needs a value");
+        cfg.set("jobs", argv[++i]);
+        continue;
+      }
+      if (kv.rfind("--jobs=", 0) == 0) {
+        cfg.set("jobs", kv.substr(7));
+        continue;
+      }
       const auto eq = kv.find('=');
       if (eq == std::string::npos) throw ConfigError("override must be key=value: " + kv);
       cfg.set(kv.substr(0, eq), kv.substr(eq + 1));
@@ -123,6 +190,8 @@ int main(int argc, char** argv) {
 
     SimOptions opt = sim_options_from_config(cfg);
     if (!cfg.contains("policy")) opt.policy = PolicyKind::kRl;
+
+    if (cfg.contains("campaign")) return run_campaign_mode(cfg, opt);
 
     // A pre-trained policy skips the synthetic pre-training phase.
     if (cfg.contains("rl_load")) opt.pretrain_cycles = 0;

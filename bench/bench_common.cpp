@@ -20,12 +20,14 @@ BenchArgs parse_args(int argc, char** argv) {
       args.scale_pct = std::strtoull(a.c_str() + 8, nullptr, 10);
     } else if (a.rfind("--seed=", 0) == 0) {
       args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      args.jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
     } else if (a.rfind("--cache=", 0) == 0) {
       args.cache = a.substr(8);
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --fresh --full --scale=N "
-                   "--seed=N --cache=PATH)\n",
+                   "--seed=N --jobs=N --cache=PATH)\n",
                    a.c_str());
       std::exit(2);
     }
@@ -59,13 +61,14 @@ CampaignResults load_or_run_campaign(const BenchArgs& args) {
   }
   SimOptions base;
   base.seed = args.seed;
+  base.jobs = args.jobs;
   if (args.full) base.use_paper_scale();
   std::fprintf(stderr,
                "[bench] running campaign: 8 benchmarks x %zu policies, "
-               "budget %llu%% (this is the slow part; later figure benches "
-               "reuse '%s')\n",
+               "budget %llu%%, jobs=%u (this is the slow part; later figure "
+               "benches reuse '%s')\n",
                paper_policies().size(),
-               static_cast<unsigned long long>(args.scale_pct),
+               static_cast<unsigned long long>(args.scale_pct), args.jobs,
                args.cache.c_str());
   CampaignResults res = run_campaign(base, paper_benchmarks(), paper_policies(),
                                      args.scale_pct);

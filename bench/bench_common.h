@@ -8,6 +8,9 @@
 //   --scale=N      packet-budget percentage (default 100 = full budgets)
 //   --full         paper-scale pretrain/warm-up phases + 100% budgets
 //   --seed=N       experiment seed (default 11)
+//   --jobs=N       parallel (benchmark, policy) runs; 0 = all hardware
+//                  threads, 1 = serial (default). Results are identical
+//                  for any value (per-run seed derivation).
 //   --cache=PATH   cache location (default ./campaign_results.tsv)
 #pragma once
 
@@ -25,6 +28,7 @@ struct BenchArgs {
   std::uint64_t scale_pct = 100;
   bool full = false;
   std::uint64_t seed = 11;
+  unsigned jobs = 1;
   std::string cache = "campaign_results.tsv";
 };
 

@@ -1,7 +1,7 @@
 // Campaign example: run a subset of the PARSEC-like suite across all four
 // policies and print every figure's normalized table in one go.
 //
-//   ./parsec_campaign [--scale=N] [bench1 bench2 ...]
+//   ./parsec_campaign [--scale=N] [--jobs=N] [bench1 bench2 ...]
 //
 // Default: three representative benchmarks (light / medium / heavy) at 25%
 // packet budget, so it finishes in a few minutes. See bench/ for the full
@@ -18,11 +18,14 @@ using namespace rlftnoc;
 
 int main(int argc, char** argv) {
   std::uint64_t scale = 25;
+  unsigned jobs = 1;
   std::vector<std::string> benchmarks;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--scale=", 0) == 0) {
       scale = std::strtoull(a.c_str() + 8, nullptr, 10);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
     } else {
       benchmarks.push_back(a);
     }
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
 
   SimOptions base;
   base.seed = 11;
+  base.jobs = jobs;
 
   const std::vector<PolicyKind> policies = {
       PolicyKind::kStaticCrc, PolicyKind::kStaticArqEcc, PolicyKind::kDecisionTree,

@@ -22,8 +22,9 @@ enum class LogLevel : int {
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
-/// Emits one line to stderr with a level prefix (thread-compatible: the
-/// simulator is single-threaded; benches run policies sequentially).
+/// Emits one line to stderr with a level prefix. Thread-safe: the line is
+/// formatted first and written with a single fprintf, so concurrent
+/// campaign jobs (SimOptions::jobs > 1) never interleave mid-line.
 void log_line(LogLevel level, const std::string& msg);
 
 }  // namespace rlftnoc

@@ -25,8 +25,12 @@ void StatAccumulator::merge(const StatAccumulator& o) noexcept {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    // A degenerate range (hi <= lo) would make width_ zero or negative and
+    // send every in-range sample to a garbage bucket index; widen it to a
+    // unit span instead so the histogram stays well-formed.
     : lo_(lo),
-      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      width_(((hi > lo ? hi : lo + 1.0) - lo) /
+             static_cast<double>(buckets ? buckets : 1)),
       counts_(buckets ? buckets : 1, 0) {}
 
 void Histogram::add(double x) noexcept {
@@ -48,7 +52,10 @@ double Histogram::quantile(double q) const noexcept {
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double cum = static_cast<double>(underflow_);
-  if (cum >= target) return lo_;
+  // Only report lo_ when underflow mass actually covers the target;
+  // otherwise q = 0 must fall through to the first non-empty bucket's edge
+  // rather than claiming the histogram floor.
+  if (underflow_ > 0 && cum >= target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {

@@ -77,6 +77,7 @@ class Ema {
 /// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
 class Histogram {
  public:
+  /// A degenerate range (hi <= lo) is widened to [lo, lo + 1).
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x) noexcept;
@@ -87,7 +88,9 @@ class Histogram {
   std::uint64_t overflow() const noexcept { return overflow_; }
   std::uint64_t total() const noexcept { return total_; }
 
-  /// Value below which `q` (in [0,1]) of the mass lies, linear within bucket.
+  /// Value below which `q` (in [0,1]) of the mass lies, linear within
+  /// bucket. q = 0 is the lower edge of the first non-empty bucket (lo_
+  /// only when underflow samples exist).
   double quantile(double q) const noexcept;
 
   /// Lower edge of bucket `i`.

@@ -1,0 +1,61 @@
+// Fixed-size thread pool for embarrassingly parallel simulation jobs.
+//
+// Design goals, in order:
+//   1. determinism support — the pool itself never reorders results; callers
+//      give each job its own output slot, so completion order is irrelevant,
+//   2. simplicity — one shared FIFO queue, no work stealing, no futures;
+//      `submit` + `wait_all` is the whole surface,
+//   3. failure visibility — the first exception thrown by any job is
+//      captured and rethrown from `wait_all` on the submitting thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlftnoc {
+
+/// Pool of `std::jthread` workers draining one shared FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue (discarding tasks not yet started is NOT done — all
+  /// submitted tasks run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe to call from any thread, including from inside a
+  /// running job. Throws std::runtime_error after the pool started shutdown.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted job has finished. If any job threw, the
+  /// first captured exception is rethrown here (subsequent jobs still ran
+  /// to completion; their exceptions beyond the first are dropped).
+  void wait_all();
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers sleep here
+  std::condition_variable cv_idle_;  ///< wait_all sleeps here
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;  ///< last member: joins before the rest die
+};
+
+}  // namespace rlftnoc

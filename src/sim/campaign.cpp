@@ -1,11 +1,21 @@
 #include "sim/campaign.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
+#include <mutex>
 #include <ostream>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
 namespace rlftnoc {
+
+std::uint64_t campaign_run_seed(std::uint64_t base_seed,
+                                const std::string& benchmark, PolicyKind pol) {
+  return base_seed ^ fnv1a64(benchmark + "/" + policy_name(pol));
+}
 
 CampaignResults run_campaign(const SimOptions& base,
                              const std::vector<std::string>& benchmarks,
@@ -15,31 +25,52 @@ CampaignResults run_campaign(const SimOptions& base,
   out.benchmarks = benchmarks;
   out.policies = policies;
   out.results.resize(benchmarks.size());
+  for (auto& row : out.results) row.resize(policies.size());
 
-  const MeshTopology topo(base.noc);
-  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+  std::mutex progress_mu;
+  auto run_one = [&](std::size_t b, std::size_t p) {
     ParsecProfile profile = parsec_profile(benchmarks[b]);
-    profile.total_packets =
-        profile.total_packets * packet_budget_scale_pct / 100;
-    for (const PolicyKind pol : policies) {
-      SimOptions opt = base;
-      opt.policy = pol;
-      // The warm-up consumes the benchmark's own packet budget; scale it
-      // with the budget so a reduced campaign still leaves the bulk of the
-      // trace for the measured phase.
-      opt.warmup_cycles = opt.warmup_cycles * packet_budget_scale_pct / 100;
-      std::fprintf(stderr, "[campaign] %-13s %-8s ...", profile.name.c_str(),
-                   policy_name(pol));
-      std::fflush(stderr);
-      Simulator sim(opt);
-      ParsecTraffic traffic(topo, profile, opt.seed);
-      SimResult res = sim.run(traffic);
-      std::fprintf(stderr, " exec=%llu lat=%.1f retx=%llu\n",
+    // Scale the packet budget, but never to zero: an empty measured phase
+    // would yield an all-zero row that the normalized tables silently skip.
+    profile.total_packets = std::max<std::uint64_t>(
+        1, profile.total_packets * packet_budget_scale_pct / 100);
+
+    SimOptions opt = base;
+    opt.policy = policies[p];
+    // Every run gets its own seed so results do not depend on how the jobs
+    // are scheduled across threads (and policies never share RNG streams).
+    opt.seed = campaign_run_seed(base.seed, benchmarks[b], policies[p]);
+    // The warm-up consumes the benchmark's own packet budget; scale it with
+    // the budget so a reduced campaign still leaves the bulk of the trace
+    // for the measured phase. Pre-training is pure cycle count, but a
+    // reduced campaign should not pay the full-scale learning phase either.
+    opt.warmup_cycles = opt.warmup_cycles * packet_budget_scale_pct / 100;
+    opt.pretrain_cycles = opt.pretrain_cycles * packet_budget_scale_pct / 100;
+
+    const MeshTopology topo(opt.noc);
+    Simulator sim(opt);
+    ParsecTraffic traffic(topo, profile, opt.seed);
+    SimResult res = sim.run(traffic);
+    {
+      std::lock_guard<std::mutex> lk(progress_mu);
+      std::fprintf(stderr, "[campaign] %-13s %-8s exec=%llu lat=%.1f retx=%llu\n",
+                   profile.name.c_str(), policy_name(policies[p]),
                    static_cast<unsigned long long>(res.execution_cycles),
                    res.avg_packet_latency,
                    static_cast<unsigned long long>(res.retransmitted_flits));
-      out.results[b].push_back(std::move(res));
     }
+    out.results[b][p] = std::move(res);
+  };
+
+  if (base.jobs == 1) {
+    for (std::size_t b = 0; b < benchmarks.size(); ++b)
+      for (std::size_t p = 0; p < policies.size(); ++p) run_one(b, p);
+  } else {
+    ThreadPool pool(base.jobs);
+    for (std::size_t b = 0; b < benchmarks.size(); ++b)
+      for (std::size_t p = 0; p < policies.size(); ++p)
+        pool.submit([&run_one, b, p] { run_one(b, p); });
+    pool.wait_all();
   }
   return out;
 }

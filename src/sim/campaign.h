@@ -27,8 +27,20 @@ struct CampaignResults {
 /// Extracts the metric a figure plots from one run.
 using MetricFn = std::function<double(const SimResult&)>;
 
-/// Runs every (benchmark, policy) pair. `tune` lets callers adjust the
-/// options per run (seed offsets etc.). Progress lines go to stderr.
+/// Seed for one (benchmark, policy) run of a campaign: the base experiment
+/// seed XOR a hash of the configuration's identity. Every run gets its own
+/// deterministic stream, so campaign results are bit-identical regardless
+/// of `SimOptions::jobs` or the order jobs happen to finish in.
+std::uint64_t campaign_run_seed(std::uint64_t base_seed,
+                                const std::string& benchmark, PolicyKind pol);
+
+/// Runs every (benchmark, policy) pair, `base.jobs` configurations at a
+/// time (1 = serial, 0 = one job per hardware thread). Each job derives its
+/// seed via campaign_run_seed() and writes into its own results slot, so
+/// output is independent of thread count. `packet_budget_scale_pct` scales
+/// the packet budget (clamped to at least one packet) and the pretrain /
+/// warm-up phase lengths together. Progress lines go to stderr, one
+/// complete line per finished run.
 CampaignResults run_campaign(const SimOptions& base,
                              const std::vector<std::string>& benchmarks,
                              const std::vector<PolicyKind>& policies,

@@ -16,6 +16,8 @@ SimOptions sim_options_from_config(const Config& cfg) {
   opt.noc = NocConfig::from_config(cfg);
   if (cfg.contains("policy")) opt.policy = policy_from_string(cfg.get_string("policy"));
   opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  opt.jobs = static_cast<unsigned>(
+      cfg.get_int("jobs", static_cast<std::int64_t>(opt.jobs)));
   opt.error_scale = cfg.get_double("error_scale", opt.error_scale);
   opt.pretrain_cycles = static_cast<Cycle>(
       cfg.get_int("pretrain_cycles", static_cast<std::int64_t>(opt.pretrain_cycles)));

@@ -1,8 +1,8 @@
 // SimOptions <-> flat Config mapping, so experiments are fully describable
 // as `key = value` text (CLI, config files, sweep scripts).
 //
-// Key namespaces: top-level experiment keys (policy, seed, error_scale,
-// phase lengths), `noc.*` (NocConfig::from_config), `rl.*` (Q-learning
+// Key namespaces: top-level experiment keys (policy, seed, jobs,
+// error_scale, phase lengths), `noc.*` (NocConfig::from_config), `rl.*` (Q-learning
 // hyper-parameters), `ctrl.*` (controller/coupling), `varius.*`,
 // `thermal.*`, `power.leak_*`. Unknown keys are ignored by design — the
 // caller owns workload keys etc.

@@ -1,6 +1,7 @@
 #include "sim/results_io.h"
 
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -11,8 +12,8 @@ namespace {
 
 constexpr const char* kHeader =
     "benchmark\tpolicy\texec_cycles\tdrained\tavg_latency\tpackets_injected\t"
-    "packets_delivered\tflits_delivered\tretx_total\tretx_e2e\tretx_hop\t"
-    "dup_flits\tcrc_failures\tdyn_pj\tleak_pj\ttotal_pj\tefficiency\t"
+    "packets_delivered\tflits_delivered\tenqueue_drops\tretx_total\tretx_e2e\t"
+    "retx_hop\tdup_flits\tcrc_failures\tdyn_pj\tleak_pj\ttotal_pj\tefficiency\t"
     "dyn_power_w\ttotal_power_w\tavg_temp\tmax_temp\tmode0\tmode1\tmode2\t"
     "mode3\trl_entries\tdt_accuracy";
 
@@ -28,6 +29,10 @@ PolicyKind policy_from_name(const std::string& name) {
 }  // namespace
 
 void write_results(std::ostream& out, const CampaignResults& results) {
+  // Shortest round-trippable decimal form: read_results(write_results(x))
+  // must reproduce every double bit-for-bit, or cached campaigns would
+  // drift from fresh ones.
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << kHeader << '\n';
   for (std::size_t b = 0; b < results.benchmarks.size(); ++b) {
     for (std::size_t p = 0; p < results.policies.size(); ++p) {
@@ -36,6 +41,7 @@ void write_results(std::ostream& out, const CampaignResults& results) {
           << '\t' << r.execution_cycles << '\t' << (r.drained ? 1 : 0) << '\t'
           << r.avg_packet_latency << '\t' << r.packets_injected << '\t'
           << r.packets_delivered << '\t' << r.flits_delivered << '\t'
+          << r.enqueue_drops << '\t'
           << r.retransmitted_flits << '\t' << r.retx_flits_e2e << '\t'
           << r.retx_flits_hop << '\t' << r.dup_flits << '\t'
           << r.crc_packet_failures << '\t' << r.dynamic_energy_pj << '\t'
@@ -78,6 +84,7 @@ CampaignResults read_results(std::istream& in) {
     r.policy = policy;
     if (!(ls >> r.execution_cycles >> drained >> r.avg_packet_latency >>
           r.packets_injected >> r.packets_delivered >> r.flits_delivered >>
+          r.enqueue_drops >>
           r.retransmitted_flits >> r.retx_flits_e2e >> r.retx_flits_hop >>
           r.dup_flits >> r.crc_packet_failures >> r.dynamic_energy_pj >>
           r.leakage_energy_pj >> r.total_energy_pj >> r.energy_efficiency >>

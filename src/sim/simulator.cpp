@@ -149,6 +149,7 @@ SimResult Simulator::run(TrafficGenerator& workload) {
   res.packets_injected = m.packets_injected;
   res.packets_delivered = m.packets_delivered;
   res.flits_delivered = m.flits_delivered;
+  res.enqueue_drops = enqueue_drops_;
   res.retransmitted_flits = m.total_retransmitted_flits();
   res.retx_flits_e2e = m.retx_flits_e2e;
   res.retx_flits_hop = m.retx_flits_hop;

@@ -40,6 +40,11 @@ struct SimOptions {
   PolicyKind policy = PolicyKind::kRl;
   std::uint64_t seed = 1;
 
+  /// Worker threads for campaign runs (run_campaign): 1 = serial (default),
+  /// 0 = one per hardware thread. Results are bit-identical for any value
+  /// because every (benchmark, policy) job derives its own seed.
+  unsigned jobs = 1;
+
   Cycle pretrain_cycles = 500000;  ///< paper: 1,000,000
   Cycle warmup_cycles = 50000;     ///< paper: 300,000
   Cycle max_measure_cycles = 8'000'000;  ///< hard guard against livelock
@@ -89,6 +94,10 @@ struct SimResult {
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t flits_delivered = 0;
+  /// Packets dropped at full source-NI queues (all phases). Non-zero means
+  /// the offered load exceeded what the NoC accepted; latency averages over
+  /// the surviving packets only, so compare policies with this in view.
+  std::uint64_t enqueue_drops = 0;
 
   std::uint64_t retransmitted_flits = 0;  ///< e2e + hop + duplicates
   std::uint64_t retx_flits_e2e = 0;

@@ -32,6 +32,7 @@ TEST(OptionsIo, FullOverrideSet) {
   const Config cfg = Config::from_string(R"(
     policy = dt
     seed = 99
+    jobs = 6
     error_scale = 2.5
     pretrain_cycles = 1234
     warmup_cycles = 567
@@ -57,6 +58,7 @@ TEST(OptionsIo, FullOverrideSet) {
   const SimOptions opt = sim_options_from_config(cfg);
   EXPECT_EQ(opt.policy, PolicyKind::kDecisionTree);
   EXPECT_EQ(opt.seed, 99u);
+  EXPECT_EQ(opt.jobs, 6u);
   EXPECT_DOUBLE_EQ(opt.error_scale, 2.5);
   EXPECT_EQ(opt.pretrain_cycles, 1234u);
   EXPECT_EQ(opt.warmup_cycles, 567u);

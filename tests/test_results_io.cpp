@@ -24,6 +24,7 @@ CampaignResults sample_results() {
       r.packets_injected = 100 * n;
       r.packets_delivered = 100 * n;
       r.flits_delivered = 400 * n;
+      r.enqueue_drops = 5 * n;
       r.retransmitted_flits = 7 * n;
       r.retx_flits_e2e = 3 * n;
       r.retx_flits_hop = 2 * n;
@@ -64,6 +65,7 @@ TEST(ResultsIo, RoundTripPreservesEverything) {
       EXPECT_EQ(a.drained, c.drained);
       EXPECT_DOUBLE_EQ(a.avg_packet_latency, c.avg_packet_latency);
       EXPECT_EQ(a.packets_delivered, c.packets_delivered);
+      EXPECT_EQ(a.enqueue_drops, c.enqueue_drops);
       EXPECT_EQ(a.retx_flits_e2e, c.retx_flits_e2e);
       EXPECT_EQ(a.dup_flits, c.dup_flits);
       EXPECT_DOUBLE_EQ(a.energy_efficiency, c.energy_efficiency);
@@ -71,6 +73,56 @@ TEST(ResultsIo, RoundTripPreservesEverything) {
       EXPECT_EQ(a.rl_table_entries, c.rl_table_entries);
     }
   }
+}
+
+TEST(ResultsIo, RoundTripIsBitExactForUglyDoubles) {
+  // Doubles with no short decimal form: the default 6-significant-digit
+  // stream precision used to truncate these, so a cached campaign differed
+  // from a fresh one. max_digits10 output must reproduce every bit.
+  CampaignResults res;
+  res.benchmarks = {"gamma"};
+  res.policies = {PolicyKind::kStaticCrc};
+  res.results.resize(1);
+  SimResult r;
+  r.workload = "gamma";
+  r.policy = policy_name(PolicyKind::kStaticCrc);
+  r.execution_cycles = 123457;
+  r.drained = true;
+  r.avg_packet_latency = 1.0 / 3.0;
+  r.dynamic_energy_pj = 123456789.123456789;
+  r.leakage_energy_pj = 2.0 / 7.0;
+  r.total_energy_pj = r.dynamic_energy_pj + r.leakage_energy_pj;
+  r.energy_efficiency = 0.1 + 0.2;  // famously not 0.3
+  r.avg_dynamic_power_w = 1e-17;
+  r.avg_total_power_w = 9.87654321e12;
+  r.avg_temperature_c = 76.543210987654321;
+  r.max_temperature_c = 101.9999999999999;
+  r.mode_fraction = {1.0 / 3.0, 1.0 / 6.0, 1.0 / 7.0, 1.0 / 11.0};
+  r.dt_training_accuracy = 0.9999999999999999;
+  res.results[0].push_back(r);
+
+  std::ostringstream os;
+  write_results(os, res);
+  std::istringstream is(os.str());
+  const CampaignResults back = read_results(is);
+  const SimResult& c = back.at(0, 0);
+  EXPECT_EQ(r.avg_packet_latency, c.avg_packet_latency);
+  EXPECT_EQ(r.dynamic_energy_pj, c.dynamic_energy_pj);
+  EXPECT_EQ(r.leakage_energy_pj, c.leakage_energy_pj);
+  EXPECT_EQ(r.total_energy_pj, c.total_energy_pj);
+  EXPECT_EQ(r.energy_efficiency, c.energy_efficiency);
+  EXPECT_EQ(r.avg_dynamic_power_w, c.avg_dynamic_power_w);
+  EXPECT_EQ(r.avg_total_power_w, c.avg_total_power_w);
+  EXPECT_EQ(r.avg_temperature_c, c.avg_temperature_c);
+  EXPECT_EQ(r.max_temperature_c, c.max_temperature_c);
+  for (std::size_t m = 0; m < kNumOpModes; ++m)
+    EXPECT_EQ(r.mode_fraction[m], c.mode_fraction[m]);
+  EXPECT_EQ(r.dt_training_accuracy, c.dt_training_accuracy);
+
+  // And writing the reread results again is byte-identical.
+  std::ostringstream os2;
+  write_results(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
 }
 
 TEST(ResultsIo, RejectsStaleHeader) {

@@ -135,6 +135,40 @@ TEST(Histogram, QuantileEmpty) {
   EXPECT_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(Histogram, QuantileZeroIsFirstNonEmptyBucketEdge) {
+  // All mass far from lo_: q=0 must report where data actually starts, not
+  // the histogram floor (there are no underflow samples).
+  Histogram h(0.0, 100.0, 10);
+  h.add(55.0);
+  h.add(57.0);
+  EXPECT_EQ(h.quantile(0.0), 50.0);
+
+  // With underflow mass, the floor is the honest answer.
+  Histogram u(10.0, 20.0, 10);
+  u.add(5.0);  // below lo_
+  u.add(15.0);
+  EXPECT_EQ(u.quantile(0.0), 10.0);
+}
+
+TEST(Histogram, DegenerateRangeStaysWellFormed) {
+  // hi <= lo used to produce a zero/negative bucket width, sending every
+  // sample to a garbage index; the range is widened to a unit span instead.
+  Histogram h(5.0, 5.0, 4);
+  h.add(5.0);
+  h.add(5.3);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.bucket(0), 1u);  // [5.0, 5.25)
+  EXPECT_EQ(h.bucket(1), 1u);  // [5.25, 5.5)
+  EXPECT_EQ(h.quantile(0.5), h.quantile(0.5));  // finite, not NaN
+  EXPECT_GE(h.quantile(1.0), 5.0);
+
+  Histogram inverted(10.0, 3.0, 4);
+  inverted.add(10.5);
+  EXPECT_EQ(inverted.bucket(2), 1u);  // [10.5, 10.75) within [10, 11)
+  EXPECT_EQ(inverted.overflow(), 0u);
+}
+
 TEST(CounterSet, BumpAndGet) {
   CounterSet c;
   EXPECT_EQ(c.get("x"), 0u);

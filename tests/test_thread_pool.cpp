@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rlftnoc {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&ran] { ++ran; });
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SlotOutputsAreOrderIndependent) {
+  // Each job writes into its own slot; the result must not depend on which
+  // worker ran which job or in what order they finished.
+  constexpr int kJobs = 64;
+  std::vector<int> slots(kJobs, -1);
+  ThreadPool pool(4);
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit([&slots, i] {
+      // Stagger completion times so finish order != submit order.
+      std::this_thread::sleep_for(std::chrono::microseconds((kJobs - i) * 10));
+      slots[static_cast<std::size_t>(i)] = i * i;
+    });
+  }
+  pool.wait_all();
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(slots[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPool, WaitAllRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 10; ++i) pool.submit([&survivors] { ++survivors; });
+  EXPECT_THROW(pool.wait_all(), std::runtime_error);
+  // The failure did not cancel the remaining jobs.
+  EXPECT_EQ(survivors.load(), 10);
+  // The error is consumed: a second wait over new work succeeds.
+  pool.submit([&survivors] { ++survivors; });
+  EXPECT_NO_THROW(pool.wait_all());
+  EXPECT_EQ(survivors.load(), 11);
+}
+
+TEST(ThreadPool, WaitAllWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.wait_all());
+}
+
+TEST(ThreadPool, SubmitFromInsideAJob) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&pool, &ran] {
+    ++ran;
+    pool.submit([&ran] { ++ran; });
+  });
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) pool.submit([&ran] { ++ran; });
+    // No wait_all: destruction must still run everything already submitted.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace rlftnoc
