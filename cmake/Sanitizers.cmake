@@ -1,0 +1,44 @@
+# Sanitizer wiring for all targets in the project.
+#
+# Usage:
+#   cmake -B build -S . -DRLFTNOC_SANITIZE="address;undefined"   # ASan+UBSan
+#   cmake -B build -S . -DRLFTNOC_SANITIZE=thread                # TSan
+#
+# Accepted sanitizers: address, undefined, thread, leak. `address`/`leak`
+# and `thread` are mutually exclusive (the runtimes cannot coexist).
+# Commas are accepted in place of semicolons so shell quoting stays simple.
+#
+# Sanitized builds also force-enable the RLFTNOC_CHECK invariant layer
+# (see src/common/check.h): the point of paying the sanitizer tax is to
+# catch bugs, so the logical checks fail loudly too.
+
+set(RLFTNOC_SANITIZE "" CACHE STRING
+    "Sanitizers to build with (address;undefined | thread | leak); empty = none")
+
+if(RLFTNOC_SANITIZE)
+  string(REPLACE "," ";" _rlftnoc_sanitizers "${RLFTNOC_SANITIZE}")
+
+  foreach(_san IN LISTS _rlftnoc_sanitizers)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+        "RLFTNOC_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected address, undefined, thread or leak)")
+    endif()
+  endforeach()
+
+  if(("address" IN_LIST _rlftnoc_sanitizers OR "leak" IN_LIST _rlftnoc_sanitizers)
+     AND "thread" IN_LIST _rlftnoc_sanitizers)
+    message(FATAL_ERROR
+      "RLFTNOC_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+
+  string(JOIN "," _rlftnoc_san_flags ${_rlftnoc_sanitizers})
+  message(STATUS "rlftnoc: building with -fsanitize=${_rlftnoc_san_flags}")
+
+  add_compile_options(
+    -fsanitize=${_rlftnoc_san_flags}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all  # make UBSan findings fatal, not just logged
+    -g)
+  add_link_options(-fsanitize=${_rlftnoc_san_flags})
+endif()

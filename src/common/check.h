@@ -1,0 +1,75 @@
+// Always-on invariant checks for the NoC hot path.
+//
+// `assert` vanishes under NDEBUG — which is exactly the configuration
+// (RelWithDebInfo / Release) that long fault campaigns run in, so the credit
+// and ARQ invariants it guarded were unchecked precisely when they mattered.
+// RLFTNOC_CHECK keeps the condition:
+//
+//   * Debug / sanitizer builds (RLFTNOC_CHECK_ENABLED=1, set by CMake):
+//     the condition is evaluated every time; on failure a printf-formatted
+//     diagnostic with file:line and the failed expression goes to stderr and
+//     the process aborts (so ASan/TSan/UBSan report before anything is torn
+//     down, and death tests can match the message).
+//   * Release builds: the condition compiles down to an optimizer hint
+//     (`__builtin_unreachable` on the false branch), costing nothing while
+//     still documenting — and exploiting — the invariant.
+//
+// Conditions must therefore be side-effect free.
+//
+// Usage:
+//   RLFTNOC_CHECK(vc.credits >= 0);
+//   RLFTNOC_CHECK(size < depth, "router %d port %s: VC overflow (%d slots)",
+//                 id, port_name(p), depth);
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef RLFTNOC_CHECK_ENABLED
+#define RLFTNOC_CHECK_ENABLED 0
+#endif
+
+namespace rlftnoc::detail {
+
+[[noreturn]] inline void check_failed_v(const char* file, int line,
+                                        const char* expr, const char* fmt,
+                                        std::va_list args) {
+  std::fprintf(stderr, "RLFTNOC_CHECK failed at %s:%d: %s", file, line, expr);
+  if (fmt != nullptr) {
+    std::fprintf(stderr, " — ");
+    std::vfprintf(stderr, fmt, args);
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr) {
+  std::va_list dummy{};
+  check_failed_v(file, line, expr, nullptr, dummy);
+}
+
+[[noreturn]] __attribute__((format(printf, 4, 5))) inline void check_failed(
+    const char* file, int line, const char* expr, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  check_failed_v(file, line, expr, fmt, args);
+  // va_end unreachable: check_failed_v aborts.
+}
+
+}  // namespace rlftnoc::detail
+
+#if RLFTNOC_CHECK_ENABLED
+#define RLFTNOC_CHECK(cond, ...)                                    \
+  (static_cast<bool>(cond)                                          \
+       ? static_cast<void>(0)                                       \
+       : ::rlftnoc::detail::check_failed(__FILE__, __LINE__,        \
+                                         #cond __VA_OPT__(, ) __VA_ARGS__))
+#else
+#define RLFTNOC_CHECK(cond, ...)              \
+  do {                                        \
+    if (!static_cast<bool>(cond)) __builtin_unreachable(); \
+  } while (0)
+#endif

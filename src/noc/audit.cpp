@@ -1,0 +1,435 @@
+#include "noc/audit.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "noc/network.h"
+
+namespace rlftnoc {
+
+namespace {
+
+/// Longest channel occupancy the router can reserve (mode-3 stretched
+/// transfer holds the wire for three cycles).
+constexpr Cycle kMaxChannelOccupancy = 3;
+
+AuditViolation make_violation(std::string invariant, Cycle cycle, NodeId node,
+                              std::string detail) {
+  AuditViolation v;
+  v.invariant = std::move(invariant);
+  v.cycle = cycle;
+  v.node = node;
+  v.detail = std::move(detail);
+  return v;
+}
+
+AuditViolation make_violation(std::string invariant, Cycle cycle, NodeId node,
+                              Port port, std::string detail) {
+  AuditViolation v = make_violation(std::move(invariant), cycle, node,
+                                    std::move(detail));
+  v.port = port;
+  v.has_port = true;
+  return v;
+}
+
+/// Entries of a delay line whose value carries a matching VcId.
+template <typename T>
+int lane_count_for_vc(const DelayLine<T>& lane, VcId vc) {
+  int n = 0;
+  lane.for_each([&](const T& entry) {
+    if (entry.vc == vc) ++n;
+  });
+  return n;
+}
+
+}  // namespace
+
+std::string AuditViolation::to_string() const {
+  std::ostringstream os;
+  os << "cycle " << cycle;
+  if (node != kInvalidNode) os << " router " << node;
+  if (has_port) os << " port " << port_name(port);
+  os << ": " << invariant << ": " << detail;
+  return os.str();
+}
+
+AuditError::AuditError(AuditViolation v)
+    : std::runtime_error("invariant audit failed: " + v.to_string()),
+      violation_(std::move(v)) {}
+
+std::vector<AuditViolation> NetworkAuditor::run(const Network& net) {
+  std::vector<AuditViolation> out;
+  audit_flit_conservation(net, out);
+  audit_credit_balance(net, out);
+  audit_vc_bounds(net, out);
+  audit_arq_consistency(net, out);
+  audit_allocation_structure(net, out);
+  audit_ni_state(net, out);
+  if (out.empty()) ++clean_passes_;
+  return out;
+}
+
+void NetworkAuditor::check_or_throw(const Network& net) {
+  std::vector<AuditViolation> violations = run(net);
+  if (!violations.empty()) throw AuditError(std::move(violations.front()));
+}
+
+// ---------------------------------------------------------------------------
+// 1. Flit conservation: created == destroyed + alive.
+// ---------------------------------------------------------------------------
+
+void NetworkAuditor::audit_flit_conservation(
+    const Network& net, std::vector<AuditViolation>& out) const {
+  const int n = net.config().num_nodes();
+  std::uint64_t injected = 0;       // NI flits_sent (fresh + e2e reinjections)
+  std::uint64_t link_copies = 0;    // hop resends + mode-2 duplicates
+  std::uint64_t delivered = 0;      // ejected at destination NIs
+  std::uint64_t dropped_by_arq = 0; // NACK-rejected + duplicate-discarded
+  std::uint64_t alive = 0;          // channels + input VC buffers
+
+  for (NodeId node = 0; node < n; ++node) {
+    const NiCounters& nc = net.ni(node).counters();
+    injected += nc.flits_sent;
+    delivered += nc.flits_ejected;
+
+    const Router& r = net.router(node);
+    const RouterCounters& rc = r.counters();
+    link_copies += rc.hop_retransmissions + rc.preretx_duplicates;
+    dropped_by_arq += rc.dup_discards;
+    for (std::size_t p = 0; p < kNumPorts; ++p)
+      dropped_by_arq += rc.nacks_sent[p];
+    alive += static_cast<std::uint64_t>(r.buffered_flits());
+
+    alive += net.inj_[static_cast<std::size_t>(node)]->flits.size();
+    alive += net.ej_[static_cast<std::size_t>(node)]->flits.size();
+  }
+  for (const auto& ch : net.out_ch_) {
+    if (ch) alive += ch->flits.size();
+  }
+
+  const std::uint64_t created = injected + link_copies;
+  const std::uint64_t accounted = delivered + dropped_by_arq + alive;
+  if (created != accounted) {
+    std::ostringstream os;
+    os << "flit instances created (" << created << " = " << injected
+       << " injected + " << link_copies << " link copies) != accounted ("
+       << accounted << " = " << delivered << " delivered + " << dropped_by_arq
+       << " ARQ-dropped + " << alive << " in flight)";
+    out.push_back(
+        make_violation("flit-conservation", net.now(), kInvalidNode, os.str()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Credit balance per channel.
+// ---------------------------------------------------------------------------
+
+void NetworkAuditor::audit_credit_balance(
+    const Network& net, std::vector<AuditViolation>& out) const {
+  const NocConfig& cfg = net.config();
+  const int n = cfg.num_nodes();
+  const auto vcs = static_cast<std::size_t>(cfg.vcs_per_port);
+
+  for (NodeId node = 0; node < n; ++node) {
+    const Router& r = net.router(node);
+    const NetworkInterface& ni = net.ni(node);
+
+    // Ejection loop (router Local output -> NI): no ARQ, exact every cycle.
+    // The NI frees its slot the cycle a flit matures, so occupancy is the
+    // flits still travelling the ejection wire.
+    const ChannelPair& ej = *net.ej_[static_cast<std::size_t>(node)];
+    const Router::OutputPort& lop = r.output_[port_index(Port::kLocal)];
+    for (std::size_t v = 0; v < vcs; ++v) {
+      const auto vc = static_cast<VcId>(v);
+      const int credits = lop.vcs[v].credits;
+      const int lane = lane_count_for_vc(ej.credits, vc);
+      const int wire = lane_count_for_vc(ej.flits, vc);
+      if (credits < 0 || credits + lane + wire != cfg.local_vc_depth) {
+        std::ostringstream os;
+        os << "ejection vc " << v << ": credits " << credits << " + in-flight "
+           << lane << " + on-wire " << wire << " != depth "
+           << cfg.local_vc_depth;
+        out.push_back(make_violation("credit-balance", net.now(), node,
+                                     Port::kLocal, os.str()));
+      }
+    }
+
+    // Injection loop (NI -> router Local input): no ARQ, exact every cycle.
+    const ChannelPair& inj = *net.inj_[static_cast<std::size_t>(node)];
+    const auto& local_in = r.input_[port_index(Port::kLocal)];
+    for (std::size_t v = 0; v < vcs; ++v) {
+      const auto vc = static_cast<VcId>(v);
+      const int credits = ni.local_vcs_[v].credits;
+      const int lane = lane_count_for_vc(inj.credits, vc);
+      const int wire = lane_count_for_vc(inj.flits, vc);
+      const int fifo = static_cast<int>(local_in[v].fifo.size());
+      if (credits < 0 || credits + lane + wire + fifo != cfg.vc_depth) {
+        std::ostringstream os;
+        os << "injection vc " << v << ": credits " << credits << " + in-flight "
+           << lane << " + on-wire " << wire << " + buffered " << fifo
+           << " != depth " << cfg.vc_depth;
+        out.push_back(make_violation("credit-balance", net.now(), node,
+                                     Port::kLocal, os.str()));
+      }
+    }
+
+    // Mesh channels: rejected copies awaiting resend absorb slots that are
+    // not visible from either end, so the every-cycle check is the sound
+    // upper bound; exact equality is enforced whenever the port is
+    // ARQ-quiescent (no wire traffic, no pending ACKs, no retention).
+    for (const Port p : {Port::kNorth, Port::kSouth, Port::kEast, Port::kWest}) {
+      const auto* ch = net.out_ch_[net.link_index(node, p)].get();
+      if (ch == nullptr) continue;
+      const NodeId down = net.topology().neighbor(node, p);
+      const Router& dr = net.router(down);
+      const auto& down_in = dr.input_[port_index(opposite(p))];
+      const Router::OutputPort& op = r.output_[port_index(p)];
+      const bool quiescent = ch->flits.empty() && ch->acks.empty() &&
+                             op.retention.empty() && op.retx_queue.empty() &&
+                             op.dup_queue.empty();
+      for (std::size_t v = 0; v < vcs; ++v) {
+        const auto vc = static_cast<VcId>(v);
+        const int credits = op.vcs[v].credits;
+        const int lane = lane_count_for_vc(ch->credits, vc);
+        const int fifo = static_cast<int>(down_in[v].fifo.size());
+        const int total = credits + lane + fifo;
+        const bool bad_bound = credits < 0 || credits > cfg.vc_depth ||
+                               total > cfg.vc_depth;
+        const bool bad_exact = quiescent && total != cfg.vc_depth;
+        if (bad_bound || bad_exact) {
+          std::ostringstream os;
+          os << "vc " << v << ": credits " << credits << " + in-flight " << lane
+             << " + downstream occupancy " << fifo
+             << (bad_bound ? " exceeds depth " : " != depth (quiescent) ")
+             << cfg.vc_depth;
+          out.push_back(
+              make_violation("credit-balance", net.now(), node, p, os.str()));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. VC depth bounds.
+// ---------------------------------------------------------------------------
+
+void NetworkAuditor::audit_vc_bounds(const Network& net,
+                                     std::vector<AuditViolation>& out) const {
+  const NocConfig& cfg = net.config();
+  for (NodeId node = 0; node < cfg.num_nodes(); ++node) {
+    const Router& r = net.router(node);
+    for (const Port p : kAllPorts) {
+      const auto& port_vcs = r.input_[port_index(p)];
+      for (std::size_t v = 0; v < port_vcs.size(); ++v) {
+        const auto depth = static_cast<std::size_t>(cfg.vc_depth);
+        if (port_vcs[v].fifo.size() > depth) {
+          std::ostringstream os;
+          os << "input vc " << v << " holds " << port_vcs[v].fifo.size()
+             << " flits, depth " << depth;
+          out.push_back(
+              make_violation("vc-depth", net.now(), node, p, os.str()));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. ARQ retransmission bookkeeping.
+// ---------------------------------------------------------------------------
+
+void NetworkAuditor::audit_arq_consistency(
+    const Network& net, std::vector<AuditViolation>& out) const {
+  const NocConfig& cfg = net.config();
+  for (NodeId node = 0; node < cfg.num_nodes(); ++node) {
+    const Router& r = net.router(node);
+    for (const Port p : {Port::kNorth, Port::kSouth, Port::kEast, Port::kWest}) {
+      if (net.out_ch_[net.link_index(node, p)] == nullptr) continue;
+      const Router::OutputPort& op = r.output_[port_index(p)];
+      const auto fail = [&](const std::string& detail) {
+        out.push_back(
+            make_violation("arq-consistency", net.now(), node, p, detail));
+      };
+
+      if (static_cast<int>(op.retention.size()) > cfg.retention_depth) {
+        std::ostringstream os;
+        os << "retention holds " << op.retention.size() << " entries, depth "
+           << cfg.retention_depth;
+        fail(os.str());
+      }
+      if (op.busy_until > net.now() + kMaxChannelOccupancy) {
+        std::ostringstream os;
+        os << "busy_until " << op.busy_until << " is more than "
+           << kMaxChannelOccupancy << " cycles past now " << net.now();
+        fail(os.str());
+      }
+
+      std::unordered_map<FlitId, const Router::Retention*> retained;
+      for (const Router::Retention& ret : op.retention) {
+        if (!retained.emplace(ret.clean.id(), &ret).second) {
+          std::ostringstream os;
+          os << "duplicate retention entry for flit " << ret.clean.id();
+          fail(os.str());
+        }
+        if (ret.unresolved < 0) {
+          std::ostringstream os;
+          os << "retention entry for flit " << ret.clean.id()
+             << " has negative unresolved count " << ret.unresolved;
+          fail(os.str());
+        }
+      }
+
+      std::unordered_map<FlitId, int> queued;
+      for (const FlitId id : op.retx_queue) ++queued[id];
+      for (const auto& [id, count] : queued) {
+        const auto it = retained.find(id);
+        if (count != 1 || it == retained.end() || !it->second->resend_queued) {
+          std::ostringstream os;
+          os << "retx queue entry for flit " << id << " (x" << count
+             << ") lacks a matching retention entry with resend_queued set";
+          fail(os.str());
+        }
+      }
+      for (const auto& [id, ret] : retained) {
+        if (ret->resend_queued && queued.find(id) == queued.end()) {
+          std::ostringstream os;
+          os << "retention entry for flit " << id
+             << " claims resend_queued but is not in the retx queue";
+          fail(os.str());
+        }
+      }
+      for (const Router::OutputPort::PendingDup& dup : op.dup_queue) {
+        if (retained.find(dup.id) == retained.end()) {
+          std::ostringstream os;
+          os << "pending duplicate of flit " << dup.id
+             << " has no retention entry";
+          fail(os.str());
+        }
+      }
+
+      // Link sequence numbers: nothing on the wire or expected downstream
+      // may run ahead of the sender's stamp counter.
+      const auto* ch = net.out_ch_[net.link_index(node, p)].get();
+      bool lsn_ok = true;
+      ch->flits.for_each([&](const Flit& f) {
+        if (f.lsn >= op.next_lsn) lsn_ok = false;
+      });
+      if (!lsn_ok) {
+        std::ostringstream os;
+        os << "flit on the wire carries lsn >= sender next_lsn "
+           << op.next_lsn;
+        fail(os.str());
+      }
+      const NodeId down = net.topology().neighbor(node, p);
+      const std::uint64_t expected =
+          net.router(down).input_arq_[port_index(opposite(p))].expected_lsn;
+      if (expected > op.next_lsn) {
+        std::ostringstream os;
+        os << "receiver expects lsn " << expected
+           << " beyond sender next_lsn " << op.next_lsn;
+        fail(os.str());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Switch-allocation structure.
+// ---------------------------------------------------------------------------
+
+void NetworkAuditor::audit_allocation_structure(
+    const Network& net, std::vector<AuditViolation>& out) const {
+  const NocConfig& cfg = net.config();
+  const auto vcs = static_cast<std::size_t>(cfg.vcs_per_port);
+  for (NodeId node = 0; node < cfg.num_nodes(); ++node) {
+    const Router& r = net.router(node);
+    std::array<std::vector<int>, kNumPorts> claims;
+    for (auto& c : claims) c.assign(vcs, 0);
+    for (std::size_t in_pi = 0; in_pi < kNumPorts; ++in_pi) {
+      for (const Router::InputVc& iv : r.input_[in_pi]) {
+        if (iv.state != Router::InputVc::State::kActive) continue;
+        if (iv.out_vc < 0 || iv.out_vc >= cfg.vcs_per_port) {
+          std::ostringstream os;
+          os << "active input vc on port " << in_pi
+             << " holds invalid output vc " << iv.out_vc;
+          out.push_back(make_violation("sa-structure", net.now(), node,
+                                       static_cast<Port>(in_pi), os.str()));
+          continue;
+        }
+        ++claims[port_index(iv.out_port)][static_cast<std::size_t>(iv.out_vc)];
+      }
+    }
+    for (const Port p : kAllPorts) {
+      const Router::OutputPort& op = r.output_[port_index(p)];
+      for (std::size_t v = 0; v < vcs; ++v) {
+        const int c = claims[port_index(p)][v];
+        if (c > 1 || op.vcs[v].allocated != (c == 1)) {
+          std::ostringstream os;
+          os << "output vc " << v << " allocated=" << op.vcs[v].allocated
+             << " but claimed by " << c << " input VCs";
+          out.push_back(
+              make_violation("sa-structure", net.now(), node, p, os.str()));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 6. NI injection / reassembly state.
+// ---------------------------------------------------------------------------
+
+void NetworkAuditor::audit_ni_state(const Network& net,
+                                    std::vector<AuditViolation>& out) const {
+  const NocConfig& cfg = net.config();
+  for (NodeId node = 0; node < cfg.num_nodes(); ++node) {
+    const NetworkInterface& ni = net.ni(node);
+    const auto fail = [&](const std::string& detail) {
+      out.push_back(make_violation("ni-state", net.now(), node, Port::kLocal,
+                                   detail));
+    };
+
+    int busy = 0;
+    for (std::size_t v = 0; v < ni.local_vcs_.size(); ++v) {
+      const NetworkInterface::LocalVc& vc = ni.local_vcs_[v];
+      if (vc.credits < 0 || vc.credits > cfg.vc_depth) {
+        std::ostringstream os;
+        os << "local vc " << v << " credits " << vc.credits
+           << " outside [0, " << cfg.vc_depth << "]";
+        fail(os.str());
+      }
+      if (vc.busy) ++busy;
+      const bool should_be_busy =
+          ni.sending_.has_value() && ni.send_vc_ == static_cast<VcId>(v);
+      if (vc.busy != should_be_busy) {
+        std::ostringstream os;
+        os << "local vc " << v << " busy=" << vc.busy
+           << " inconsistent with sending state";
+        fail(os.str());
+      }
+    }
+    if (busy > 1) {
+      std::ostringstream os;
+      os << busy << " local VCs busy; the NI sends one packet at a time";
+      fail(os.str());
+    }
+    if (ni.sending_ && ni.next_flit_ >= ni.sending_->flits.size()) {
+      std::ostringstream os;
+      os << "sending flit index " << ni.next_flit_ << " past packet length "
+         << ni.sending_->flits.size();
+      fail(os.str());
+    }
+    for (const auto& [pkt, a] : ni.assembling_) {
+      if (a.expected == 0 || a.received == 0 || a.received >= a.expected) {
+        std::ostringstream os;
+        os << "packet " << pkt << " reassembly has received " << a.received
+           << " of " << a.expected << " flits (complete packets must be"
+           << " finalized immediately)";
+        fail(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace rlftnoc

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <utility>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "noc/flit.h"
 
@@ -25,15 +27,20 @@ class DelayLine {
   Cycle latency() const noexcept { return latency_; }
 
   /// Enqueues `value` at time `now`; it becomes visible at `now + latency`.
-  void push(Cycle now, T value) {
-    entries_.push_back(Entry{now + latency_, std::move(value)});
-  }
+  void push(Cycle now, T value) { push_delayed(now, std::move(value), 0); }
 
   /// Enqueues with `extra` additional cycles of delay (mode-3 relaxed-timing
   /// transfers). Callers keep the channel busy over the stretch, so stamps
   /// stay monotone and FIFO order is preserved.
   void push_delayed(Cycle now, T value, Cycle extra) {
-    entries_.push_back(Entry{now + latency_ + extra, std::move(value)});
+    const Cycle at = now + latency_ + extra;
+    // FIFO delivery order requires monotone maturity stamps; a violation
+    // means a producer bypassed the channel-occupancy protocol.
+    RLFTNOC_CHECK(entries_.empty() || entries_.back().deliver_at <= at,
+                  "delay line stamp regressed: %llu after %llu",
+                  static_cast<unsigned long long>(at),
+                  static_cast<unsigned long long>(entries_.back().deliver_at));
+    entries_.push_back(Entry{at, std::move(value)});
   }
 
   /// Pops the oldest entry if it has matured by `now`.
@@ -46,6 +53,13 @@ class DelayLine {
 
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Visits every queued value oldest-first (auditing / diagnostics only —
+  /// the simulation itself must go through pop() to honour maturity).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.value);
+  }
 
  private:
   struct Entry {

@@ -135,6 +135,9 @@ class Network {
   }
 
  private:
+  /// The invariant auditor walks every channel delay line (see noc/audit.h).
+  friend class NetworkAuditor;
+
   struct E2eEvent {
     Cycle at;
     NodeId src;

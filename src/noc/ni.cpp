@@ -1,7 +1,6 @@
 #include "noc/ni.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "coding/crc.h"
 #include "common/rng.h"
 #include "noc/network.h"
@@ -59,6 +58,8 @@ bool NetworkInterface::enqueue_packet(Packet pkt) {
 void NetworkInterface::receive(Cycle now) {
   ChannelPair& ej = net_->ej_channel(id_);
   while (auto f = ej.flits.pop(now)) {
+    RLFTNOC_CHECK(f->vc >= 0 && f->vc < cfg_->vcs_per_port,
+                  "NI %d: ejected flit carries invalid vc %d", id_, f->vc);
     ++counters_.flits_ejected;
     net_->record_power(id_, PowerEvent::kCrcDecode);
     ej.credits.push(now, Credit{f->vc});
@@ -129,7 +130,7 @@ void NetworkInterface::deliver_e2e_response(Cycle /*now*/, PacketId id, bool ok)
 }
 
 void NetworkInterface::start_next_packet(Cycle /*now*/) {
-  assert(!sending_);
+  RLFTNOC_CHECK(!sending_, "NI %d: start_next_packet while mid-packet", id_);
   Packet pkt;
   bool fresh = false;
   if (!reinject_.empty()) {

@@ -92,6 +92,10 @@ class NetworkInterface {
   void start_next_packet(Cycle now);
   void finalize_packet(Cycle now, PacketId id, const Assembly& asmbl);
 
+  /// The invariant auditor inspects credit mirrors and reassembly state
+  /// (see noc/audit.h).
+  friend class NetworkAuditor;
+
   NodeId id_;
   const NocConfig* cfg_;
   Network* net_;

@@ -1,8 +1,8 @@
 #include "noc/router.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "coding/secded.h"
 #include "noc/network.h"
 #include "noc/routing.h"
@@ -114,7 +114,9 @@ void Router::accept_flit(Port in_port, Flit&& flit) {
   const std::size_t pi = port_index(in_port);
   InputVc& vc = input_[pi][static_cast<std::size_t>(flit.vc)];
   // Credits guarantee buffer space; overflow here means a flow-control bug.
-  assert(static_cast<int>(vc.fifo.size()) < cfg_->vc_depth);
+  RLFTNOC_CHECK(static_cast<int>(vc.fifo.size()) < cfg_->vc_depth,
+                "router %d port %s vc %d: input VC overflow (depth %d)",
+                id_, port_name(in_port), flit.vc, cfg_->vc_depth);
   ++counters_.flits_in[pi];
   net_->record_power(id_, PowerEvent::kBufferWrite);
   vc.fifo.push_back(std::move(flit));
@@ -122,7 +124,9 @@ void Router::accept_flit(Port in_port, Flit&& flit) {
 
 void Router::send_link_response(Cycle now, Port in_port, FlitId id, VcId vc, bool nack) {
   ChannelPair* ch = net_->in_channel(id_, in_port);
-  assert(ch != nullptr);  // ECC traffic only arrives on mesh ports
+  // ECC traffic only arrives on mesh ports, which always have a back channel.
+  RLFTNOC_CHECK(ch != nullptr, "router %d: link response through port %s",
+                id_, port_name(in_port));
   ch->acks.push(now, AckMsg{id, vc, nack});
   net_->record_power(id_, PowerEvent::kAckFlit);
 }
@@ -328,7 +332,8 @@ void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
   OutputPort& op = output_[pi];
   const bool mesh = out_port != Port::kLocal;
   ChannelPair* ch = mesh ? net_->out_channel(id_, out_port) : &net_->ej_channel(id_);
-  assert(ch != nullptr);
+  RLFTNOC_CHECK(ch != nullptr, "router %d: transmit through edge port %s", id_,
+                port_name(out_port));
 
   if (mesh && !is_copy) flit.lsn = op.next_lsn++;
 
@@ -342,7 +347,11 @@ void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
   }
   if (is_copy) {
     Retention* r = find_retention(out_port, flit.id());
-    assert(r != nullptr);  // callers verify before resending
+    // Callers verify the retention entry exists before resending.
+    RLFTNOC_CHECK(r != nullptr,
+                  "router %d port %s: resent flit %llu has no retention entry",
+                  id_, port_name(out_port),
+                  static_cast<unsigned long long>(flit.id()));
     if (r != nullptr) ++r->unresolved;
   }
 

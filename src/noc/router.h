@@ -149,6 +149,10 @@ class Router {
 
   bool ecc_enabled() const noexcept { return mode_ != OpMode::kMode0; }
 
+  /// The invariant auditor cross-checks buffer occupancy, credit balance and
+  /// ARQ bookkeeping against the rest of the network (see noc/audit.h).
+  friend class NetworkAuditor;
+
   InputVc& ivc(Port p, VcId v) { return input_[port_index(p)][static_cast<std::size_t>(v)]; }
 
   NodeId id_;

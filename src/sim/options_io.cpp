@@ -18,6 +18,9 @@ SimOptions sim_options_from_config(const Config& cfg) {
   opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   opt.jobs = static_cast<unsigned>(
       cfg.get_int("jobs", static_cast<std::int64_t>(opt.jobs)));
+  opt.audit = cfg.get_bool("audit", opt.audit);
+  opt.audit_interval = static_cast<Cycle>(
+      cfg.get_int("audit_interval", static_cast<std::int64_t>(opt.audit_interval)));
   opt.error_scale = cfg.get_double("error_scale", opt.error_scale);
   opt.pretrain_cycles = static_cast<Cycle>(
       cfg.get_int("pretrain_cycles", static_cast<std::int64_t>(opt.pretrain_cycles)));

@@ -38,6 +38,10 @@ Simulator::Simulator(SimOptions opt, std::unique_ptr<ControlPolicy> policy)
   controller_ = std::make_unique<FtController>(net_.get(), policy_.get(),
                                                opt_.controller, opt_.thermal,
                                                opt_.error_scale);
+  if (opt_.audit) {
+    if (opt_.audit_interval == 0) opt_.audit_interval = 1;
+    auditor_ = std::make_unique<NetworkAuditor>();
+  }
 }
 
 Simulator::~Simulator() = default;
@@ -50,6 +54,15 @@ void Simulator::enqueue_batch(std::vector<Packet>& batch) {
   batch.clear();
 }
 
+void Simulator::advance_cycle() {
+  net_->step();
+  controller_->on_cycle();
+  // Audit between steps, when delay lines, buffers and counters are settled
+  // for the cycle; a violation aborts the run pointing at the broken state.
+  if (auditor_ && net_->now() % opt_.audit_interval == 0)
+    auditor_->check_or_throw(*net_);
+}
+
 void Simulator::run_cycles_with(TrafficGenerator* gen, Cycle cycles) {
   std::vector<Packet> batch;
   const Cycle end = net_->now() + cycles;
@@ -58,8 +71,7 @@ void Simulator::run_cycles_with(TrafficGenerator* gen, Cycle cycles) {
       gen->tick(net_->now(), batch);
       if (!batch.empty()) enqueue_batch(batch);
     }
-    net_->step();
-    controller_->on_cycle();
+    advance_cycle();
   }
 }
 
@@ -74,10 +86,7 @@ SimResult Simulator::run(TrafficGenerator& workload) {
     run_cycles_with(&pretrain, opt_.pretrain_cycles);
     // Let pre-training traffic drain so it does not pollute the benchmark.
     Cycle guard = opt_.drain_grace_cycles;
-    while (!net_->drained() && guard-- > 0) {
-      net_->step();
-      controller_->on_cycle();
-    }
+    while (!net_->drained() && guard-- > 0) advance_cycle();
   }
 
   // Phase 2: warm-up with the benchmark's own traffic.
@@ -107,8 +116,7 @@ SimResult Simulator::run(TrafficGenerator& workload) {
       workload.tick(net_->now(), batch);
       if (!batch.empty()) enqueue_batch(batch);
     }
-    net_->step();
-    controller_->on_cycle();
+    advance_cycle();
 
     if (controller_->steps() != last_seen_steps) {
       last_seen_steps = controller_->steps();

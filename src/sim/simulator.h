@@ -25,6 +25,7 @@
 #include "fault/varius.h"
 #include "ftnoc/controller.h"
 #include "ftnoc/policy.h"
+#include "noc/audit.h"
 #include "noc/network.h"
 #include "noc/noc_config.h"
 #include "power/orion_lite.h"
@@ -44,6 +45,14 @@ struct SimOptions {
   /// 0 = one per hardware thread. Results are bit-identical for any value
   /// because every (benchmark, policy) job derives its own seed.
   unsigned jobs = 1;
+
+  /// Run the NetworkAuditor (noc/audit.h) after every simulated cycle and
+  /// abort the run with AuditError on the first violated invariant. Costs a
+  /// full sweep of the network state per audited cycle, so this is an
+  /// opt-in debugging / CI mode, not a default.
+  bool audit = false;
+  /// Cycles between audit sweeps when `audit` is set (1 = every cycle).
+  Cycle audit_interval = 1;
 
   Cycle pretrain_cycles = 500000;  ///< paper: 1,000,000
   Cycle warmup_cycles = 50000;     ///< paper: 300,000
@@ -141,7 +150,11 @@ class Simulator {
   ControlPolicy& policy() noexcept { return *policy_; }
   const SimOptions& options() const noexcept { return opt_; }
 
+  /// The per-cycle invariant auditor; nullptr unless SimOptions::audit.
+  const NetworkAuditor* auditor() const noexcept { return auditor_.get(); }
+
  private:
+  void advance_cycle();
   void run_cycles_with(TrafficGenerator* gen, Cycle cycles);
   void enqueue_batch(std::vector<Packet>& batch);
 
@@ -149,6 +162,7 @@ class Simulator {
   std::unique_ptr<Network> net_;
   std::unique_ptr<ControlPolicy> policy_;
   std::unique_ptr<FtController> controller_;
+  std::unique_ptr<NetworkAuditor> auditor_;
   std::uint64_t enqueue_drops_ = 0;
 };
 

@@ -2,8 +2,8 @@
 
 #include <array>
 #include <bit>
-#include <cassert>
 
+#include "common/check.h"
 #include "noc/ni.h"
 
 namespace rlftnoc {
@@ -116,7 +116,7 @@ PretrainTraffic::PretrainTraffic(const MeshTopology& topo, std::uint64_t seed,
       levels_(std::move(rate_levels)),
       period_(level_period),
       packet_len_(packet_len) {
-  assert(!levels_.empty());
+  RLFTNOC_CHECK(!levels_.empty(), "PretrainTraffic: empty rate-level schedule");
 }
 
 void PretrainTraffic::tick(Cycle now, std::vector<Packet>& out) {

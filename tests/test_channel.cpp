@@ -27,13 +27,18 @@ TEST(DelayLine, FifoOrder) {
   EXPECT_FALSE(d.pop(5).has_value());
 }
 
-TEST(DelayLine, LateEntriesBlockBehindEarly) {
+TEST(DelayLine, StretchedEntryBlocksFollowers) {
+  // A mode-3 stretched transfer keeps the wire busy: followers pushed after
+  // the stretch (the occupancy protocol guarantees this, and push enforces
+  // monotone stamps — see test_audit.cpp for the violation death test) wait
+  // their own latency but never overtake.
   DelayLine<int> d(1);
   d.push_delayed(0, 1, 5);  // matures at 6
-  d.push(3, 2);             // matures at 4, but FIFO behind the first
-  EXPECT_FALSE(d.pop(4).has_value());
+  d.push(6, 2);             // matures at 7, FIFO behind the first
+  EXPECT_FALSE(d.pop(5).has_value());
   EXPECT_EQ(*d.pop(6), 1);
-  EXPECT_EQ(*d.pop(6), 2);
+  EXPECT_FALSE(d.pop(6).has_value());
+  EXPECT_EQ(*d.pop(7), 2);
 }
 
 TEST(DelayLine, PushDelayedAddsExtra) {

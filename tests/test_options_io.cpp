@@ -33,6 +33,8 @@ TEST(OptionsIo, FullOverrideSet) {
     policy = dt
     seed = 99
     jobs = 6
+    audit = true
+    audit_interval = 32
     error_scale = 2.5
     pretrain_cycles = 1234
     warmup_cycles = 567
@@ -59,6 +61,8 @@ TEST(OptionsIo, FullOverrideSet) {
   EXPECT_EQ(opt.policy, PolicyKind::kDecisionTree);
   EXPECT_EQ(opt.seed, 99u);
   EXPECT_EQ(opt.jobs, 6u);
+  EXPECT_TRUE(opt.audit);
+  EXPECT_EQ(opt.audit_interval, 32u);
   EXPECT_DOUBLE_EQ(opt.error_scale, 2.5);
   EXPECT_EQ(opt.pretrain_cycles, 1234u);
   EXPECT_EQ(opt.warmup_cycles, 567u);
@@ -80,6 +84,16 @@ TEST(OptionsIo, FullOverrideSet) {
   EXPECT_EQ(opt.noc.mesh_height, 6);
   EXPECT_EQ(opt.noc.vcs_per_port, 2);
   EXPECT_EQ(opt.noc.routing, RoutingAlgorithm::kYX);
+}
+
+TEST(OptionsIo, AuditKeysRoundTrip) {
+  Config cfg;
+  cfg.set("audit", "true");
+  cfg.set("audit_interval", "64");
+  const Config reparsed = Config::from_string(cfg.to_string());
+  const SimOptions opt = sim_options_from_config(reparsed);
+  EXPECT_TRUE(opt.audit);
+  EXPECT_EQ(opt.audit_interval, 64u);
 }
 
 TEST(OptionsIo, InvalidStructuralValueThrows) {

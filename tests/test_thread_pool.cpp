@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -71,6 +72,36 @@ TEST(ThreadPool, SubmitFromInsideAJob) {
   });
   pool.wait_all();
   EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, EightWorkerContentionStress) {
+  // Oversubscribed relative to most CI runners: 8 workers hammering one
+  // queue plus non-slot shared state (the atomic) and slot-style private
+  // state, with exceptions interleaved. Primarily a TSan target — the
+  // sanitizer presets run this with full race detection.
+  constexpr int kJobs = 400;
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.size(), 8u);
+  std::vector<std::uint64_t> slots(kJobs, 0);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([&slots, &ran, i] {
+        slots[static_cast<std::size_t>(i)] += static_cast<std::uint64_t>(i) + 1;
+        ++ran;
+      });
+    }
+    if (round == 1) {
+      pool.submit([] { throw std::runtime_error("round-1 failure"); });
+      EXPECT_THROW(pool.wait_all(), std::runtime_error);
+    } else {
+      EXPECT_NO_THROW(pool.wait_all());
+    }
+  }
+  EXPECT_EQ(ran.load(), 3 * kJobs);
+  for (int i = 0; i < kJobs; ++i)
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)],
+              3u * (static_cast<std::uint64_t>(i) + 1));
 }
 
 TEST(ThreadPool, DestructorDrainsPendingTasks) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# clang-tidy driver over the project's compilation database.
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir must hold a compile_commands.json (the root CMakeLists sets
+# CMAKE_EXPORT_COMPILE_COMMANDS, so any configured build tree works):
+#   cmake -B build -S .
+#   tools/run_tidy.sh build
+#
+# Environment:
+#   CLANG_TIDY  override the clang-tidy binary (default: newest on PATH)
+#   TIDY_JOBS   parallel workers (default: nproc)
+#
+# Exit status: 0 = clean, 1 = findings (the .clang-tidy config promotes all
+# warnings to errors), 2 = environment problem (no clang-tidy, no database).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+find_clang_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    echo "$CLANG_TIDY"
+    return
+  fi
+  # Prefer a versioned binary (newest first), fall back to the plain name.
+  for ver in 21 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-$ver" >/dev/null 2>&1; then
+      echo "clang-tidy-$ver"
+      return
+    fi
+  done
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy"
+    return
+  fi
+  echo ""
+}
+
+tidy="$(find_clang_tidy)"
+if [ -z "$tidy" ]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_tidy.sh: $db not found — configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+jobs="${TIDY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+# First-party translation units only: the library core, the CLIs and the
+# examples. Tests and benches follow gtest/benchmark idioms that trip
+# several checks (e.g. bugprone-unchecked-optional-access on ASSERT paths)
+# without guarding any shipping code.
+mapfile -t sources < <(
+  find "$repo_root/src" "$repo_root/apps" "$repo_root/examples" \
+       -name '*.cpp' | LC_ALL=C sort)
+
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_tidy.sh: no sources found" >&2
+  exit 2
+fi
+
+echo "run_tidy.sh: $tidy over ${#sources[@]} files ($jobs jobs)" >&2
+
+status=0
+printf '%s\0' "${sources[@]}" |
+  xargs -0 -n 1 -P "$jobs" "$tidy" -p "$build_dir" --quiet "$@" || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy.sh: clang-tidy reported findings" >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean" >&2
