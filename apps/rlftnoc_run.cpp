@@ -1,7 +1,8 @@
 // rlftnoc_run — config-file-driven simulation CLI.
 //
 // Usage:
-//   rlftnoc_run <config-file> [--jobs N] [--audit] [key=value overrides ...]
+//   rlftnoc_run <config-file> [--jobs N] [--audit] [--trace]
+//               [--trace-dir D] [--metrics-interval N] [key=value ...]
 //   rlftnoc_run --dump-defaults
 //
 // Config keys (all optional; defaults reproduce the paper's setup):
@@ -12,6 +13,10 @@
 //   jobs          = 1                (campaign-mode parallelism; also --jobs N)
 //   audit         = false            (per-cycle invariant audit; also --audit)
 //   audit_interval= 1                (cycles between audit sweeps)
+//   telemetry     = false            (event trace + metrics; also --trace)
+//   telemetry.dir = telemetry        (output directory; also --trace-dir D)
+//   metrics_interval = 1000          (cycles/sample; also --metrics-interval N)
+//   telemetry.series_rows / telemetry.trace_capacity   (ring sizes)
 //   injection_rate= 0.06             (synthetic workloads)
 //   packets       = 50000            (synthetic workloads)
 //   budget_pct    = 100              (PARSEC workloads)
@@ -191,6 +196,28 @@ int main(int argc, char** argv) {
         cfg.set("audit", "true");
         continue;
       }
+      if (kv == "--trace") {
+        cfg.set("telemetry", "true");
+        continue;
+      }
+      if (kv == "--trace-dir") {
+        if (i + 1 >= argc) throw ConfigError("--trace-dir needs a value");
+        cfg.set("telemetry.dir", argv[++i]);
+        continue;
+      }
+      if (kv.rfind("--trace-dir=", 0) == 0) {
+        cfg.set("telemetry.dir", kv.substr(12));
+        continue;
+      }
+      if (kv == "--metrics-interval") {
+        if (i + 1 >= argc) throw ConfigError("--metrics-interval needs a value");
+        cfg.set("metrics_interval", argv[++i]);
+        continue;
+      }
+      if (kv.rfind("--metrics-interval=", 0) == 0) {
+        cfg.set("metrics_interval", kv.substr(19));
+        continue;
+      }
       const auto eq = kv.find('=');
       if (eq == std::string::npos) throw ConfigError("override must be key=value: " + kv);
       cfg.set(kv.substr(0, eq), kv.substr(eq + 1));
@@ -224,6 +251,10 @@ int main(int argc, char** argv) {
       }
     }
     print_result(r);
+    if (!sim.telemetry_files().empty()) {
+      std::printf("telemetry manifest  %s\n",
+                  sim.telemetry_manifest_path().c_str());
+    }
     return r.drained ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rlftnoc_run: %s\n", e.what());

@@ -35,6 +35,7 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 
 void Histogram::add(double x) noexcept {
   ++total_;
+  max_seen_ = std::max(max_seen_, x);
   if (x < lo_) {
     ++underflow_;
     return;
@@ -60,11 +61,14 @@ double Histogram::quantile(double q) const noexcept {
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {
       const double frac = (target - cum) / static_cast<double>(counts_[i]);
-      return bucket_lo(i) + frac * width_;
+      // Interpolation can overshoot the data (q = 1 of a one-sample bucket
+      // would land on the bucket's upper edge); never report a value above
+      // the largest sample actually observed.
+      return std::min(bucket_lo(i) + frac * width_, max_seen_);
     }
     cum = next;
   }
-  return lo_ + width_ * static_cast<double>(counts_.size());
+  return std::min(lo_ + width_ * static_cast<double>(counts_.size()), max_seen_);
 }
 
 double Histogram::bucket_lo(std::size_t i) const noexcept {

@@ -90,7 +90,9 @@ class Histogram {
 
   /// Value below which `q` (in [0,1]) of the mass lies, linear within
   /// bucket. q = 0 is the lower edge of the first non-empty bucket (lo_
-  /// only when underflow samples exist).
+  /// only when underflow samples exist). Results never exceed the largest
+  /// sample seen, so q = 1 of a single-sample distribution is that sample
+  /// rather than its bucket's upper edge.
   double quantile(double q) const noexcept;
 
   /// Lower edge of bucket `i`.
@@ -103,6 +105,8 @@ class Histogram {
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+  /// Largest sample observed; caps quantile results from above.
+  double max_seen_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Named counters, cheap to bump and easy to dump in one table.

@@ -176,6 +176,16 @@ void FtController::control_step() {
     rewards_[ri] = 25.0 / (std::max(latency, 1.0) * energy_term);
 
     const OpMode mode = policy_->decide(r, features_[ri], rewards_[ri]);
+    const OpMode old_mode = router.mode();
+    if (steps_ == 0 || mode != old_mode) {
+      // First step records every router's initial mode so trace slices have
+      // a well-defined start even for routers that never change mode.
+      RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kModeSwitch, net_->now(), r,
+                    -1, static_cast<std::int32_t>(mode),
+                    static_cast<double>(old_mode));
+    }
+    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kEpochReward, net_->now(), r,
+                  -1, static_cast<std::int32_t>(steps_), rewards_[ri]);
     router.set_mode(mode);
     if (const auto ev = policy_->control_energy_event()) power.record(r, *ev);
 

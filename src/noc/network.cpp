@@ -72,7 +72,12 @@ void Network::corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed) {
   const LinkErrorProb& prob = link_prob_[idx];
   const double pe = relaxed ? prob.relaxed : prob.normal;
   if (pe <= 0.0) return;
-  inj->inject(flit.payload, flit.ecc_valid ? &flit.ecc : nullptr, pe);
+  const InjectionResult res =
+      inj->inject(flit.payload, flit.ecc_valid ? &flit.ecc : nullptr, pe);
+  if (res.error_event) {
+    RLFTNOC_TRACE(tracer_, TraceEventKind::kFaultInjected, now_, node,
+                  static_cast<std::int8_t>(port_index(p)), res.bits_flipped);
+  }
 }
 
 void Network::add_path_latency(NodeId src, NodeId dst, double latency_cycles) {

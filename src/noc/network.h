@@ -23,6 +23,7 @@
 #include "noc/router.h"
 #include "noc/topology.h"
 #include "power/orion_lite.h"
+#include "telemetry/telemetry.h"
 
 namespace rlftnoc {
 
@@ -124,6 +125,12 @@ class Network {
   /// don't carry their own stream).
   Rng& payload_rng() noexcept { return payload_rng_; }
 
+  /// Optional event tracer (telemetry). Null when tracing is off; every
+  /// instrumentation site goes through RLFTNOC_TRACE, which null-checks (and
+  /// compiles away entirely under RLFTNOC_TELEMETRY_DISABLED).
+  EventTracer* tracer() const noexcept { return tracer_; }
+  void set_tracer(EventTracer* t) noexcept { tracer_ = t; }
+
   /// Credits a delivered packet's end-to-end latency to every router on its
   /// X-Y path (the paper's per-router "E2E_Latency(i)" reward term).
   void add_path_latency(NodeId src, NodeId dst, double latency_cycles);
@@ -176,6 +183,8 @@ class Network {
   std::uint64_t e2e_seq_ = 0;
 
   std::vector<StatAccumulator> latency_window_;
+
+  EventTracer* tracer_ = nullptr;
 
   Rng payload_rng_;
 };

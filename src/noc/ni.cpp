@@ -109,11 +109,13 @@ void NetworkInterface::finalize_packet(Cycle now, PacketId id, const Assembly& a
   } else {
     ++counters_.packets_crc_failed;
     ++m.crc_packet_failures;
+    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kCrcPacketFail, now, id_, -1,
+                  static_cast<std::int32_t>(a.expected));
     net_->schedule_e2e_response(response_at, a.src, id, /*ok=*/false);
   }
 }
 
-void NetworkInterface::deliver_e2e_response(Cycle /*now*/, PacketId id, bool ok) {
+void NetworkInterface::deliver_e2e_response(Cycle now, PacketId id, bool ok) {
   const auto it = retained_.find(id);
   if (it == retained_.end()) return;  // already resolved (shouldn't happen)
   if (ok) {
@@ -125,6 +127,8 @@ void NetworkInterface::deliver_e2e_response(Cycle /*now*/, PacketId id, bool ok)
   NetworkMetrics& m = net_->metrics();
   ++m.packet_e2e_retransmissions;
   m.retx_flits_e2e += it->second.flits.size();
+  RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kE2eRetx, now, id_, -1,
+                static_cast<std::int32_t>(it->second.flits.size()));
   net_->record_power(id_, PowerEvent::kRetransmission);
   reinject_.push_back(it->second);  // pristine copy, original inject_cycle kept
 }

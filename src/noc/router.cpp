@@ -87,6 +87,8 @@ void Router::handle_incoming_flit(Cycle now, Port in_port, Flit flit) {
     // Out of order behind a rejected flit: go-back-N — NACK so the sender
     // replays it after the gap is filled. No decode needed.
     ++counters_.nacks_sent[pi];
+    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kNackSent, now, id_,
+                  static_cast<std::int8_t>(pi), /*out-of-order*/ 0);
     send_link_response(now, in_port, fid, flit.vc, /*nack=*/true);
     return;
   }
@@ -97,6 +99,8 @@ void Router::handle_incoming_flit(Cycle now, Port in_port, Flit flit) {
     // Reject: NACK upstream and wait for the resend (or the mode-2 dup).
     ++counters_.ecc_uncorrectable;
     ++counters_.nacks_sent[pi];
+    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kNackSent, now, id_,
+                  static_cast<std::int8_t>(pi), /*uncorrectable*/ 1);
     send_link_response(now, in_port, fid, flit.vc, /*nack=*/true);
     return;
   }
@@ -185,6 +189,9 @@ void Router::stage_link_resend(Cycle now) {
       copy.hop_retransmission = true;
       ++counters_.hop_retransmissions;
       ++net_->metrics().retx_flits_hop;
+      RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kHopRetx, now, id_,
+                    static_cast<std::int8_t>(pi),
+                    static_cast<std::int32_t>(copy.seq));
       net_->record_power(id_, PowerEvent::kRetransmission);
       transmit(now, p, std::move(copy), /*is_copy=*/true);
       sent = true;
@@ -202,6 +209,9 @@ void Router::stage_link_resend(Cycle now) {
       copy.hop_retransmission = true;
       ++counters_.preretx_duplicates;
       ++net_->metrics().dup_flits;
+      RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kPreRetxDup, now, id_,
+                    static_cast<std::int8_t>(pi),
+                    static_cast<std::int32_t>(copy.seq));
       transmit(now, p, std::move(copy), /*is_copy=*/true);
       break;
     }

@@ -6,6 +6,8 @@
 #include <iomanip>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -21,6 +23,23 @@ CampaignResults run_campaign(const SimOptions& base,
                              const std::vector<std::string>& benchmarks,
                              const std::vector<PolicyKind>& policies,
                              std::uint64_t packet_budget_scale_pct) {
+  // Refuse duplicate (benchmark, policy) keys up front: the key names a
+  // run's results row, derived seed and telemetry file set, so a duplicate
+  // would silently overwrite one run's output with another's.
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& b : benchmarks) {
+      for (const PolicyKind p : policies) {
+        const std::string key = b + "/" + policy_name(p);
+        if (!seen.insert(key).second) {
+          throw std::invalid_argument(
+              "run_campaign: duplicate (benchmark, policy) pair '" + key +
+              "' would overwrite its twin's results");
+        }
+      }
+    }
+  }
+
   CampaignResults out;
   out.benchmarks = benchmarks;
   out.policies = policies;

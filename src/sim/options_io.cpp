@@ -33,6 +33,20 @@ SimOptions sim_options_from_config(const Config& cfg) {
   opt.per_port_state = cfg.get_bool("per_port_state", opt.per_port_state);
   opt.rl_shared_table = cfg.get_bool("rl_shared_table", opt.rl_shared_table);
 
+  // telemetry.* (see src/telemetry): `telemetry` switches the subsystem on
+  // (the CLI spells it --trace; the key `trace` is taken by trace replay).
+  opt.telemetry.enabled = cfg.get_bool("telemetry", opt.telemetry.enabled);
+  opt.telemetry.out_dir = cfg.get_string("telemetry.dir", opt.telemetry.out_dir);
+  opt.telemetry.metrics_interval = static_cast<Cycle>(cfg.get_int(
+      "metrics_interval",
+      static_cast<std::int64_t>(opt.telemetry.metrics_interval)));
+  opt.telemetry.series_rows = static_cast<std::size_t>(cfg.get_int(
+      "telemetry.series_rows",
+      static_cast<std::int64_t>(opt.telemetry.series_rows)));
+  opt.telemetry.trace_capacity = static_cast<std::size_t>(cfg.get_int(
+      "telemetry.trace_capacity",
+      static_cast<std::int64_t>(opt.telemetry.trace_capacity)));
+
   // rl.*
   opt.rl.alpha = cfg.get_double("rl.alpha", opt.rl.alpha);
   opt.rl.gamma = cfg.get_double("rl.gamma", opt.rl.gamma);

@@ -5,6 +5,8 @@
 #include "common/log.h"
 #include "ftnoc/dt_policy.h"
 #include "ftnoc/rl_policy.h"
+#include "sim/telemetry_probe.h"
+#include "telemetry/export.h"
 
 namespace rlftnoc {
 
@@ -34,10 +36,21 @@ Simulator::Simulator(SimOptions opt, std::unique_ptr<ControlPolicy> policy)
     : opt_(std::move(opt)) {
   opt_.noc.validate();
   net_ = std::make_unique<Network>(opt_.noc, opt_.seed, opt_.varius, opt_.power);
+  // Telemetry must attach before the controller: its constructor already
+  // runs a control step, and we want those initial mode decisions traced.
+  if (opt_.telemetry.enabled) {
+    telemetry_ =
+        std::make_unique<Telemetry>(opt_.telemetry, opt_.noc.num_nodes());
+    net_->set_tracer(&telemetry_->tracer());
+  }
   policy_ = policy ? std::move(policy) : make_policy(opt_);
   controller_ = std::make_unique<FtController>(net_.get(), policy_.get(),
                                                opt_.controller, opt_.thermal,
                                                opt_.error_scale);
+  if (telemetry_) {
+    probe_ = std::make_unique<SimTelemetryProbe>(*telemetry_, *net_,
+                                                 *controller_, policy_.get());
+  }
   if (opt_.audit) {
     if (opt_.audit_interval == 0) opt_.audit_interval = 1;
     auditor_ = std::make_unique<NetworkAuditor>();
@@ -57,10 +70,18 @@ void Simulator::enqueue_batch(std::vector<Packet>& batch) {
 void Simulator::advance_cycle() {
   net_->step();
   controller_->on_cycle();
+  if (probe_ && telemetry_->due(net_->now())) probe_->sample(net_->now());
   // Audit between steps, when delay lines, buffers and counters are settled
   // for the cycle; a violation aborts the run pointing at the broken state.
-  if (auditor_ && net_->now() % opt_.audit_interval == 0)
-    auditor_->check_or_throw(*net_);
+  if (auditor_ && net_->now() % opt_.audit_interval == 0) {
+    try {
+      auditor_->check_or_throw(*net_);
+    } catch (const AuditError&) {
+      RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kAuditViolation,
+                    net_->now(), kInvalidNode);
+      throw;  // run() exports the trace before propagating
+    }
+  }
 }
 
 void Simulator::run_cycles_with(TrafficGenerator* gen, Cycle cycles) {
@@ -76,11 +97,75 @@ void Simulator::run_cycles_with(TrafficGenerator* gen, Cycle cycles) {
 }
 
 SimResult Simulator::run(TrafficGenerator& workload) {
+  if (!telemetry_) return run_impl(workload);
+  try {
+    SimResult res = run_impl(workload);
+    // Force one final sample so the series covers the full run, then write
+    // the trace / metrics / heatmap / manifest file set.
+    if (probe_) probe_->sample(net_->now());
+    export_telemetry(res.workload);
+    return res;
+  } catch (...) {
+    // An aborted run (audit violation, livelock guard, ...) is exactly when
+    // the trace matters most: export best-effort, then propagate.
+    try {
+      export_telemetry(workload.name());
+    } catch (...) {
+      // Keep the original error.
+    }
+    throw;
+  }
+}
+
+std::string Simulator::telemetry_manifest_path() const {
+  if (telemetry_files_.empty()) return "";
+  return telemetry_dir_ + "/" + telemetry_files_.back();
+}
+
+void Simulator::export_telemetry(const std::string& workload_name) {
+  TelemetryExportInfo info;
+  info.out_dir = telemetry_->options().out_dir;
+  info.workload = workload_name;
+  info.policy = policy_->name();
+  info.label = sanitize_run_label(workload_name + "_" + info.policy);
+  info.seed = opt_.seed;
+  info.mesh_width = net_->topology().width();
+  info.mesh_height = net_->topology().height();
+  info.measure_start = measure_start_;
+  info.end_cycle = net_->now();
+  const auto opt_str = [&info](const char* key, std::string v) {
+    info.options.emplace_back(key, std::move(v));
+  };
+  opt_str("policy", policy_->name());
+  opt_str("seed", std::to_string(opt_.seed));
+  opt_str("noc.mesh_width", std::to_string(opt_.noc.mesh_width));
+  opt_str("noc.mesh_height", std::to_string(opt_.noc.mesh_height));
+  opt_str("pretrain_cycles", std::to_string(opt_.pretrain_cycles));
+  opt_str("warmup_cycles", std::to_string(opt_.warmup_cycles));
+  opt_str("max_measure_cycles", std::to_string(opt_.max_measure_cycles));
+  opt_str("error_scale", std::to_string(opt_.error_scale));
+  opt_str("ctrl.step_cycles", std::to_string(opt_.controller.step_cycles));
+  opt_str("audit", opt_.audit ? "1" : "0");
+  opt_str("metrics_interval",
+          std::to_string(telemetry_->options().metrics_interval));
+  opt_str("telemetry.series_rows",
+          std::to_string(telemetry_->options().series_rows));
+  opt_str("telemetry.trace_capacity",
+          std::to_string(telemetry_->options().trace_capacity));
+  telemetry_dir_ = info.out_dir;
+  telemetry_files_ = export_run_telemetry(
+      *telemetry_, info,
+      probe_ ? probe_->heatmaps() : std::vector<HeatmapGrid>{});
+}
+
+SimResult Simulator::run_impl(TrafficGenerator& workload) {
   const bool learning =
       opt_.policy == PolicyKind::kDecisionTree || opt_.policy == PolicyKind::kRl;
 
   // Phase 1: pre-training on synthetic traffic (learning policies only).
   controller_->begin_phase(SimPhase::kPretrain);
+  RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kPhaseBegin, net_->now(),
+                kInvalidNode, -1, static_cast<std::int32_t>(SimPhase::kPretrain));
   if (learning && opt_.pretrain_cycles > 0) {
     PretrainTraffic pretrain(net_->topology(), opt_.seed);
     run_cycles_with(&pretrain, opt_.pretrain_cycles);
@@ -91,6 +176,8 @@ SimResult Simulator::run(TrafficGenerator& workload) {
 
   // Phase 2: warm-up with the benchmark's own traffic.
   controller_->begin_phase(SimPhase::kWarmup);
+  RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kPhaseBegin, net_->now(),
+                kInvalidNode, -1, static_cast<std::int32_t>(SimPhase::kWarmup));
   if (opt_.warmup_cycles > 0) run_cycles_with(&workload, opt_.warmup_cycles);
 
   // Reset measured state; in-flight packets keep their injection stamps.
@@ -99,7 +186,11 @@ SimResult Simulator::run(TrafficGenerator& workload) {
 
   // Phase 3: testing — run the benchmark to completion, then drain.
   controller_->begin_phase(SimPhase::kMeasure);
+  RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kPhaseBegin, net_->now(),
+                kInvalidNode, -1, static_cast<std::int32_t>(SimPhase::kMeasure));
   const Cycle measure_start = net_->now();
+  measure_start_ = measure_start;
+  if (probe_) probe_->begin_measure(measure_start);
   std::vector<Packet> batch;
   std::array<double, kNumOpModes> mode_accum{};
   std::uint64_t mode_samples = 0;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "dt/decision_tree.h"
@@ -30,10 +31,13 @@
 #include "noc/noc_config.h"
 #include "power/orion_lite.h"
 #include "rl/agent.h"
+#include "telemetry/telemetry.h"
 #include "thermal/hotspot_lite.h"
 #include "traffic/traffic.h"
 
 namespace rlftnoc {
+
+class SimTelemetryProbe;
 
 /// Everything needed to reproduce one run.
 struct SimOptions {
@@ -53,6 +57,11 @@ struct SimOptions {
   bool audit = false;
   /// Cycles between audit sweeps when `audit` is set (1 = every cycle).
   Cycle audit_interval = 1;
+
+  /// Event tracing + time-series metrics (opt-in; see src/telemetry). When
+  /// `telemetry.enabled`, run() exports the trace/metrics/heatmap/manifest
+  /// file set into `telemetry.out_dir` under a "<workload>_<policy>" label.
+  TelemetryOptions telemetry;
 
   Cycle pretrain_cycles = 500000;  ///< paper: 1,000,000
   Cycle warmup_cycles = 50000;     ///< paper: 300,000
@@ -153,17 +162,35 @@ class Simulator {
   /// The per-cycle invariant auditor; nullptr unless SimOptions::audit.
   const NetworkAuditor* auditor() const noexcept { return auditor_.get(); }
 
+  /// Telemetry collector; nullptr unless SimOptions::telemetry.enabled.
+  Telemetry* telemetry() noexcept { return telemetry_.get(); }
+
+  /// Files written by the last run()'s telemetry export (names within the
+  /// telemetry out_dir; empty when telemetry is off). Manifest is last.
+  const std::vector<std::string>& telemetry_files() const noexcept {
+    return telemetry_files_;
+  }
+  /// Path of the run-manifest JSON ("" when telemetry is off).
+  std::string telemetry_manifest_path() const;
+
  private:
   void advance_cycle();
   void run_cycles_with(TrafficGenerator* gen, Cycle cycles);
   void enqueue_batch(std::vector<Packet>& batch);
+  SimResult run_impl(TrafficGenerator& workload);
+  void export_telemetry(const std::string& workload_name);
 
   SimOptions opt_;
   std::unique_ptr<Network> net_;
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<ControlPolicy> policy_;
   std::unique_ptr<FtController> controller_;
+  std::unique_ptr<SimTelemetryProbe> probe_;
   std::unique_ptr<NetworkAuditor> auditor_;
   std::uint64_t enqueue_drops_ = 0;
+  Cycle measure_start_ = 0;
+  std::string telemetry_dir_;
+  std::vector<std::string> telemetry_files_;
 };
 
 /// Builds the policy object for a PolicyKind (shared by Simulator and the

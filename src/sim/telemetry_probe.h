@@ -1,0 +1,97 @@
+// Sample-time bridge between the simulation and the telemetry registry.
+//
+// The simulator's hot path is left untouched: routers, NIs and the network
+// already maintain cumulative counters for the RL feature pipeline, so the
+// probe simply reads them whenever a metrics sample is due and feeds the
+// running totals into the MetricsRegistry (which turns counters into
+// per-interval deltas). Sparse discrete events go through the inline
+// RLFTNOC_TRACE hooks instead — see telemetry/telemetry.h.
+//
+// The probe also accumulates the per-router heatmap inputs (mode residency,
+// NACK rate, temperature) over the measurement phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+namespace rlftnoc {
+
+class Network;
+class FtController;
+class ControlPolicy;
+
+class SimTelemetryProbe {
+ public:
+  /// Registers every metric family and freezes the registry. `policy` may be
+  /// any ControlPolicy; RL-specific gauges stay 0 for non-RL policies.
+  SimTelemetryProbe(Telemetry& telemetry, Network& net, FtController& ctl,
+                    ControlPolicy* policy);
+
+  SimTelemetryProbe(const SimTelemetryProbe&) = delete;
+  SimTelemetryProbe& operator=(const SimTelemetryProbe&) = delete;
+
+  /// Reads the simulation state into the registry and takes one time-series
+  /// sample stamped `now`. Also accumulates heatmap state.
+  void sample(Cycle now);
+
+  /// Restarts heatmap accumulation (called when the measure phase begins so
+  /// heatmaps describe measured behaviour, not warmup).
+  void begin_measure(Cycle now);
+
+  /// Per-router grids accumulated since begin_measure(): mode0..mode3
+  /// residency (fraction of samples), nack_rate (NACKs per accepted flit)
+  /// and temperature_c (mean over samples).
+  std::vector<HeatmapGrid> heatmaps() const;
+
+ private:
+  void register_families();
+
+  Telemetry& telemetry_;
+  Network& net_;
+  FtController& ctl_;
+  ControlPolicy* policy_;
+
+  // Gauge families (per-router unless noted).
+  MetricId m_mode_;
+  MetricId m_temperature_;
+  MetricId m_reward_;
+  MetricId m_buffer_util_;
+  MetricId m_inject_queue_;
+  MetricId m_rl_table_entries_;  ///< global
+  MetricId m_rl_epsilon_;        ///< global
+
+  // Counter families (cumulative totals fed each sample; per-router).
+  MetricId m_flits_in_;
+  MetricId m_hop_retx_;
+  MetricId m_preretx_dup_;
+  MetricId m_nacks_sent_;
+  MetricId m_ecc_corrections_;
+  MetricId m_ecc_uncorrectable_;
+  MetricId m_ni_reinjected_;
+  MetricId m_ni_crc_flit_fail_;
+  // Per-router-per-port counter family.
+  MetricId m_port_flits_out_;
+  // Global counter families.
+  MetricId m_g_injected_;
+  MetricId m_g_delivered_;
+  MetricId m_g_retx_e2e_;
+  MetricId m_g_retx_hop_;
+  MetricId m_g_dup_flits_;
+  MetricId m_g_crc_pkt_fail_;
+
+  // Whole-run histograms.
+  HistogramId h_reward_;
+  HistogramId h_temperature_;
+
+  // Heatmap accumulation (since begin_measure).
+  std::uint64_t heat_samples_ = 0;
+  std::vector<std::uint64_t> mode_counts_;  ///< [router * 4 + mode]
+  std::vector<double> temp_sum_;            ///< [router]
+  std::vector<std::uint64_t> base_nacks_;   ///< [router] counter baseline
+  std::vector<std::uint64_t> base_flits_;   ///< [router] counter baseline
+};
+
+}  // namespace rlftnoc

@@ -1,0 +1,72 @@
+// Telemetry exporters: Chrome trace-event JSON (chrome://tracing / Perfetto
+// loadable), long-format time-series TSV, per-router heatmap grids, and a
+// run-manifest JSON that ties options + git sha + seed to the output files.
+//
+// File layout for one run labelled `<label>` under `out_dir`:
+//   <label>.trace.json            Chrome trace-event JSON
+//   <label>.metrics.tsv           cycle \t metric \t router \t port \t value
+//   <label>.hist.tsv              metric \t bucket_lo \t bucket_hi \t count
+//   <label>.heatmap.<name>.tsv    H rows x W columns grid (row y=0 first)
+//   <label>.manifest.json         everything needed to interpret the above
+//
+// All writers are deterministic: iteration order is registration/ring order
+// and floating-point formatting is locale-independent, so a campaign
+// produces byte-identical files regardless of `--jobs`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace rlftnoc {
+
+/// One per-router scalar rendered as a W x H grid (row-major, y*width + x).
+struct HeatmapGrid {
+  std::string name;  ///< file-name fragment, e.g. "mode2_residency"
+  int width = 0;
+  int height = 0;
+  std::vector<double> values;
+};
+
+/// Context shared by every exporter of one run.
+struct TelemetryExportInfo {
+  std::string out_dir;
+  std::string label;  ///< sanitized "<workload>_<policy>" file prefix
+  std::string workload;
+  std::string policy;
+  std::uint64_t seed = 0;
+  int mesh_width = 0;
+  int mesh_height = 0;
+  Cycle measure_start = 0;
+  Cycle end_cycle = 0;
+  /// Flat key=value option dump recorded in the manifest.
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+/// Replaces every character outside [A-Za-z0-9._-] with '_'.
+std::string sanitize_run_label(const std::string& raw);
+
+/// Build-time git revision ("unknown" outside a git checkout).
+const char* telemetry_git_sha() noexcept;
+
+// -- stream-level writers (unit-testable without touching the filesystem) --
+void write_chrome_trace(std::ostream& out, const EventTracer& tracer,
+                        const TelemetryExportInfo& info);
+void write_metrics_tsv(std::ostream& out, const MetricsRegistry& reg);
+void write_histograms_tsv(std::ostream& out, const MetricsRegistry& reg);
+void write_heatmap_tsv(std::ostream& out, const HeatmapGrid& grid);
+void write_manifest_json(std::ostream& out, const TelemetryExportInfo& info,
+                         const Telemetry& telemetry,
+                         const std::vector<std::string>& files);
+
+/// Writes the full file set for one run into `info.out_dir` (created on
+/// demand) and returns the file names written (manifest last). Throws
+/// std::runtime_error when a file cannot be created.
+std::vector<std::string> export_run_telemetry(
+    const Telemetry& telemetry, const TelemetryExportInfo& info,
+    const std::vector<HeatmapGrid>& heatmaps);
+
+}  // namespace rlftnoc

@@ -1,0 +1,99 @@
+#include "telemetry/telemetry.h"
+
+namespace rlftnoc {
+
+const char* trace_event_name(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::kModeSwitch: return "mode_switch";
+    case TraceEventKind::kHopRetx: return "hop_retx";
+    case TraceEventKind::kPreRetxDup: return "preretx_dup";
+    case TraceEventKind::kE2eRetx: return "e2e_retx";
+    case TraceEventKind::kFaultInjected: return "fault_injected";
+    case TraceEventKind::kNackSent: return "nack_sent";
+    case TraceEventKind::kCrcPacketFail: return "crc_packet_fail";
+    case TraceEventKind::kAuditViolation: return "audit_violation";
+    case TraceEventKind::kEpochReward: return "epoch_reward";
+    case TraceEventKind::kPhaseBegin: return "phase_begin";
+  }
+  return "?";
+}
+
+MetricId MetricsRegistry::add(MetricKind kind, MetricScope scope,
+                              std::string name) {
+  RLFTNOC_CHECK(!frozen_, "metric '%s' registered after freeze()", name.c_str());
+  Family f;
+  f.name = std::move(name);
+  f.kind = kind;
+  f.scope = scope;
+  f.base = width_;
+  f.slots = scope_slots(scope);
+  width_ += f.slots;
+  families_.push_back(std::move(f));
+  return MetricId{static_cast<std::uint32_t>(families_.size() - 1)};
+}
+
+HistogramId MetricsRegistry::add_histogram(std::string name, double lo,
+                                           double hi, std::size_t buckets) {
+  RLFTNOC_CHECK(!frozen_, "histogram '%s' registered after freeze()",
+                name.c_str());
+  hist_names_.push_back(std::move(name));
+  hists_.emplace_back(lo, hi, buckets);
+  return HistogramId{static_cast<std::uint32_t>(hists_.size() - 1)};
+}
+
+void MetricsRegistry::freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  cur_.assign(width_, 0.0);
+  prev_.assign(width_, 0.0);
+  row_.assign(width_, 0.0);
+  ring_ = std::make_unique<TimeSeriesRing>(series_rows_, width_);
+}
+
+void MetricsRegistry::sample(Cycle now) {
+  RLFTNOC_CHECK(frozen_, "metrics registry sampled before freeze()");
+  for (const Family& f : families_) {
+    if (f.kind == MetricKind::kCounter) {
+      for (std::size_t s = f.base; s < f.base + f.slots; ++s) {
+        // A cumulative value moving backwards means the source counter was
+        // reset (e.g. NetworkMetrics::reset() at the measure-phase start);
+        // the new cumulative value IS the delta since that reset.
+        row_[s] = cur_[s] >= prev_[s] ? cur_[s] - prev_[s] : cur_[s];
+        prev_[s] = cur_[s];
+      }
+    } else {
+      for (std::size_t s = f.base; s < f.base + f.slots; ++s) row_[s] = cur_[s];
+    }
+  }
+  ring_->push_row(now, row_.data());
+}
+
+void MetricsRegistry::slot_labels(std::size_t slot, std::size_t& family,
+                                  int& router, int& port) const {
+  for (std::size_t fi = 0; fi < families_.size(); ++fi) {
+    const Family& f = families_[fi];
+    if (slot < f.base || slot >= f.base + f.slots) continue;
+    family = fi;
+    const std::size_t off = slot - f.base;
+    switch (f.scope) {
+      case MetricScope::kGlobal:
+        router = -1;
+        port = -1;
+        return;
+      case MetricScope::kPerRouter:
+        router = static_cast<int>(off);
+        port = -1;
+        return;
+      case MetricScope::kPerRouterPort:
+        router = static_cast<int>(off / kNumPorts);
+        port = static_cast<int>(off % kNumPorts);
+        return;
+    }
+  }
+  RLFTNOC_CHECK(false, "slot %zu outside every metric family", slot);
+  family = 0;
+  router = -1;
+  port = -1;
+}
+
+}  // namespace rlftnoc

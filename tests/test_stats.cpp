@@ -169,6 +169,23 @@ TEST(Histogram, DegenerateRangeStaysWellFormed) {
   EXPECT_EQ(inverted.overflow(), 0u);
 }
 
+TEST(Histogram, QuantileNeverExceedsMaxSample) {
+  // A single sample: every quantile — q = 1.0 included — must report the
+  // sample itself, not its bucket's upper edge.
+  Histogram h(0.0, 100.0, 10);
+  h.add(55.0);
+  EXPECT_EQ(h.quantile(1.0), 55.0);
+  EXPECT_EQ(h.quantile(0.5), 55.0);
+
+  // With several samples in one bucket the interpolated midpoints still may
+  // not pass the true maximum.
+  Histogram m(0.0, 100.0, 10);
+  m.add(51.0);
+  m.add(52.0);
+  EXPECT_LE(m.quantile(1.0), 52.0);
+  EXPECT_GE(m.quantile(1.0), 51.0);
+}
+
 TEST(CounterSet, BumpAndGet) {
   CounterSet c;
   EXPECT_EQ(c.get("x"), 0u);
