@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
 
 namespace rlftnoc::bench {
 
@@ -48,15 +52,45 @@ std::vector<std::string> paper_benchmarks() {
   return out;
 }
 
+std::uint64_t campaign_options_hash(const BenchArgs& args) {
+  std::ostringstream os;
+  os << "seed=" << args.seed << ";scale=" << args.scale_pct
+     << ";full=" << (args.full ? 1 : 0) << ";benchmarks=";
+  for (const std::string& b : paper_benchmarks()) os << b << ',';
+  os << ";policies=";
+  for (const PolicyKind p : paper_policies()) os << policy_name(p) << ',';
+  return fnv1a64(os.str());
+}
+
+namespace {
+
+std::string hash_comment(std::uint64_t hash) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "# campaign-options-hash %016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// The cache is reusable only if its recorded options hash matches.
+bool cache_hash_matches(const std::string& path, std::uint64_t expected) {
+  std::ifstream in(path);
+  std::string first;
+  if (!in || !std::getline(in, first)) return false;
+  return first == hash_comment(expected);
+}
+
+}  // namespace
+
 CampaignResults load_or_run_campaign(const BenchArgs& args) {
-  if (!args.fresh) {
+  const std::uint64_t hash = campaign_options_hash(args);
+  if (!args.fresh && cache_hash_matches(args.cache, hash)) {
     try {
       CampaignResults cached = read_results_file(args.cache);
       std::fprintf(stderr, "[bench] reusing cached campaign '%s'\n",
                    args.cache.c_str());
       return cached;
     } catch (const std::exception&) {
-      // No usable cache; fall through to a fresh run.
+      // Unreadable body; fall through to a fresh run.
     }
   }
   SimOptions base;
@@ -72,7 +106,11 @@ CampaignResults load_or_run_campaign(const BenchArgs& args) {
                args.cache.c_str());
   CampaignResults res = run_campaign(base, paper_benchmarks(), paper_policies(),
                                      args.scale_pct);
-  write_results_file(args.cache, res);
+  std::ofstream out(args.cache);
+  if (out) {
+    out << hash_comment(hash) << '\n';
+    write_results(out, res);
+  }
   return res;
 }
 

@@ -41,6 +41,15 @@ const std::vector<PolicyKind>& paper_policies();
 /// All eight benchmark names.
 std::vector<std::string> paper_benchmarks();
 
+/// Hash of every option that determines campaign *results* (seed, scale,
+/// phase lengths, benchmark and policy lists). `jobs` is excluded on
+/// purpose: results are bit-identical for any job count, so a cache written
+/// at --jobs=4 is valid for a serial rerun. The cache file records this
+/// hash in a leading `# campaign-options-hash <hex>` comment and a reload
+/// only reuses the file when the hash matches — editing options can no
+/// longer silently serve stale cached results.
+std::uint64_t campaign_options_hash(const BenchArgs& args);
+
 /// Loads the cached campaign or runs it (and caches).
 CampaignResults load_or_run_campaign(const BenchArgs& args);
 

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Runs every bench binary in dependency-friendly order (the campaign cache
-# is produced by the first figure bench and reused by the rest).
+# is produced by the first figure bench and reused by the rest), then the
+# two perf-tracking benches, which emit BENCH_microperf.json and
+# BENCH_campaign.json. tools/bench_summary.py turns those into a summary
+# table and (with --check) a regression gate against the committed baseline.
 set -e
 cd "$(dirname "$0")"
 for b in \
@@ -14,8 +17,17 @@ for b in \
   build/bench/bench_ablation_modes \
   build/bench/bench_ablation_rl \
   build/bench/bench_latency_throughput \
-  build/bench/bench_mode_map \
-  build/bench/bench_microperf; do
+  build/bench/bench_mode_map; do
   echo "===== $b ====="
   "$b" "$@"
 done
+
+echo "===== build/bench/bench_microperf ====="
+build/bench/bench_microperf \
+  --benchmark_out=BENCH_microperf.json --benchmark_out_format=json
+
+echo "===== build/bench/bench_campaign ====="
+build/bench/bench_campaign --out=BENCH_campaign.json
+
+echo "===== perf summary ====="
+python3 tools/bench_summary.py BENCH_microperf.json BENCH_campaign.json

@@ -31,28 +31,38 @@ Secded7264::Secded7264() noexcept {
     }
     parity_mask_[i] = mask;
   }
+  // Per-byte check tables: every check bit (including the overall-parity
+  // bit) is XOR-linear in the data bits, so the check of a word decomposes
+  // into the XOR of the checks of its zero-extended bytes.
+  for (int byte = 0; byte < 8; ++byte) {
+    for (unsigned v = 0; v < 256; ++v) {
+      const std::uint64_t data = static_cast<std::uint64_t>(v) << (8 * byte);
+      std::uint8_t check = 0;
+      for (int i = 0; i < 7; ++i) {
+        if (parity64(data & parity_mask_[i]))
+          check |= static_cast<std::uint8_t>(1u << i);
+      }
+      const int overall =
+          parity64(data) ^ (std::popcount(static_cast<unsigned>(check)) & 1);
+      if (overall) check |= 0x80u;
+      byte_check_[static_cast<std::size_t>(byte)][v] = check;
+    }
+  }
 }
 
 SecdedWord Secded7264::encode(std::uint64_t data) const noexcept {
-  std::uint8_t check = 0;
-  for (int i = 0; i < 7; ++i) {
-    if (parity64(data & parity_mask_[i])) check |= static_cast<std::uint8_t>(1u << i);
-  }
-  // Overall parity (check bit 7) makes the full 72-bit codeword even-parity.
-  const int overall = parity64(data) ^ (std::popcount(static_cast<unsigned>(check)) & 1);
-  if (overall) check |= 0x80u;
-  return SecdedWord{data, check};
+  return SecdedWord{data, check_of(data)};
 }
 
 SecdedDecode Secded7264::decode(std::uint64_t data, std::uint8_t check) const noexcept {
-  std::uint8_t syndrome = 0;
-  for (int i = 0; i < 7; ++i) {
-    const int computed = parity64(data & parity_mask_[i]);
-    const int received = (check >> i) & 1;
-    if (computed != received) syndrome |= static_cast<std::uint8_t>(1u << i);
-  }
-  const int overall =
-      parity64(data) ^ (std::popcount(static_cast<unsigned>(check)) & 1);
+  // One table-driven recompute gives everything at once. The low 7 bits of
+  // `diff` are the classic Hamming syndrome. For the overall parity:
+  // parity(check_of(data)) == parity(data) by construction of bit 7, so
+  // parity(diff) == parity(data) ^ parity(check) — exactly the receiver's
+  // overall-parity test, with no second popcount pass over the data.
+  const auto diff = static_cast<std::uint8_t>(check_of(data) ^ check);
+  const auto syndrome = static_cast<std::uint8_t>(diff & 0x7Fu);
+  const int overall = std::popcount(static_cast<unsigned>(diff)) & 1;
 
   SecdedDecode out;
   out.syndrome = syndrome;

@@ -68,6 +68,21 @@ class Secded7264 {
   static constexpr int kDataBits = 64;
 
  private:
+  /// The full 8-bit check (7 Hamming bits + overall-parity bit) of `data`.
+  /// Every check bit is a GF(2)-linear function of the data bits, so the
+  /// check of a word is the XOR of per-byte contributions: one table lookup
+  /// per byte instead of seven mask+popcount rounds plus parity fixup.
+  std::uint8_t check_of(std::uint64_t data) const noexcept {
+    return static_cast<std::uint8_t>(
+        byte_check_[0][data & 0xFFu] ^ byte_check_[1][(data >> 8) & 0xFFu] ^
+        byte_check_[2][(data >> 16) & 0xFFu] ^
+        byte_check_[3][(data >> 24) & 0xFFu] ^
+        byte_check_[4][(data >> 32) & 0xFFu] ^
+        byte_check_[5][(data >> 40) & 0xFFu] ^
+        byte_check_[6][(data >> 48) & 0xFFu] ^
+        byte_check_[7][(data >> 56) & 0xFFu]);
+  }
+
   /// parity_mask_[i] selects the data bits covered by Hamming check bit i
   /// (i in [0,7), check bit at codeword position 2^i).
   std::array<std::uint64_t, 7> parity_mask_ = {};
@@ -75,6 +90,8 @@ class Secded7264 {
   std::array<std::uint8_t, 64> data_pos_ = {};
   /// Inverse map: codeword position -> data bit index, or 0xFF for check bits.
   std::array<std::uint8_t, 72> pos_to_data_ = {};
+  /// byte_check_[b][v]: full 8-bit check of the word uint64(v) << 8b.
+  std::array<std::array<std::uint8_t, 256>, 8> byte_check_ = {};
 };
 
 /// ECC protection for a whole 128-bit flit payload: two independent

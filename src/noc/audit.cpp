@@ -265,23 +265,29 @@ void NetworkAuditor::audit_arq_consistency(
         fail(os.str());
       }
 
-      std::unordered_map<FlitId, const Router::Retention*> retained;
-      for (const Router::Retention& ret : op.retention) {
-        if (!retained.emplace(ret.clean.id(), &ret).second) {
+      std::unordered_map<FlitId, const ArqRetention*> retained;
+      op.retention.for_each([&](FlitId key, const ArqRetention& ret) {
+        if (key != ret.clean.id()) {
           std::ostringstream os;
-          os << "duplicate retention entry for flit " << ret.clean.id();
+          os << "retention index key " << key << " disagrees with stored flit "
+             << ret.clean.id();
+          fail(os.str());
+        }
+        if (!retained.emplace(key, &ret).second) {
+          std::ostringstream os;
+          os << "duplicate retention entry for flit " << key;
           fail(os.str());
         }
         if (ret.unresolved < 0) {
           std::ostringstream os;
-          os << "retention entry for flit " << ret.clean.id()
+          os << "retention entry for flit " << key
              << " has negative unresolved count " << ret.unresolved;
           fail(os.str());
         }
-      }
+      });
 
       std::unordered_map<FlitId, int> queued;
-      for (const FlitId id : op.retx_queue) ++queued[id];
+      op.retx_queue.for_each([&](const FlitId id) { ++queued[id]; });
       for (const auto& [id, count] : queued) {
         const auto it = retained.find(id);
         if (count != 1 || it == retained.end() || !it->second->resend_queued) {
@@ -299,14 +305,14 @@ void NetworkAuditor::audit_arq_consistency(
           fail(os.str());
         }
       }
-      for (const Router::OutputPort::PendingDup& dup : op.dup_queue) {
+      op.dup_queue.for_each([&](const Router::OutputPort::PendingDup& dup) {
         if (retained.find(dup.id) == retained.end()) {
           std::ostringstream os;
           os << "pending duplicate of flit " << dup.id
              << " has no retention entry";
           fail(os.str());
         }
-      }
+      });
 
       // Link sequence numbers: nothing on the wire or expected downstream
       // may run ahead of the sender's stamp counter.

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "noc/flit.h"
 
@@ -58,16 +58,16 @@ class DelayLine {
   /// the simulation itself must go through pop() to honour maturity).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const Entry& e : entries_) fn(e.value);
+    entries_.for_each([&fn](const Entry& e) { fn(e.value); });
   }
 
  private:
   struct Entry {
-    Cycle deliver_at;
-    T value;
+    Cycle deliver_at = 0;
+    T value{};
   };
   Cycle latency_;
-  std::deque<Entry> entries_;
+  RingBuffer<Entry> entries_;
 };
 
 /// Credit returned upstream when a flit vacates an input VC buffer slot.

@@ -42,6 +42,8 @@ Network::Network(const NocConfig& cfg, std::uint64_t seed, VariusParams varius,
     routers_.push_back(std::make_unique<Router>(node, &cfg_, this));
     nis_.push_back(std::make_unique<NetworkInterface>(node, &cfg_, this));
   }
+  skip_router_.assign(static_cast<std::size_t>(n), 0);
+  skip_ni_.assign(static_cast<std::size_t>(n), 0);
 }
 
 ChannelPair* Network::out_channel(NodeId node, Port p) {
@@ -94,6 +96,39 @@ void Network::schedule_e2e_response(Cycle at, NodeId src, PacketId id, bool ok) 
   e2e_events_.push(E2eEvent{at, src, id, ok, e2e_seq_++});
 }
 
+bool Network::router_has_work(NodeId node) const {
+  const auto i = static_cast<std::size_t>(node);
+  // Internal state that can produce output on its own.
+  if (!routers_[i]->quiescent()) return true;
+  // Anything sitting on an incoming lane, mature or not: flits arriving on
+  // mesh links or from the local NI, credits/ACKs returning on outgoing
+  // links, credits returning from the ejection wire. Maturity is ignored on
+  // purpose — an immature entry just keeps the node un-skipped a cycle or
+  // two early, which is conservative.
+  for (const Port p : kAllPorts) {
+    if (p == Port::kLocal) continue;
+    const NodeId nb = topo_.neighbor(node, p);
+    if (nb != kInvalidNode) {
+      const ChannelPair& in = *out_ch_[link_index(nb, opposite(p))];
+      if (!in.flits.empty()) return true;
+    }
+    if (const auto& out = out_ch_[link_index(node, p)]) {
+      if (!out->credits.empty() || !out->acks.empty()) return true;
+    }
+  }
+  if (!inj_[i]->flits.empty()) return true;
+  if (!ej_[i]->credits.empty()) return true;
+  return false;
+}
+
+bool Network::ni_has_work(NodeId node) const {
+  const auto i = static_cast<std::size_t>(node);
+  if (!nis_[i]->injection_idle()) return true;
+  if (!ej_[i]->flits.empty()) return true;   // ejection side would pop
+  if (!inj_[i]->credits.empty()) return true;  // credit return would pop
+  return false;
+}
+
 void Network::step() {
   const Cycle t = now_;
   while (!e2e_events_.empty() && e2e_events_.top().at <= t) {
@@ -101,10 +136,36 @@ void Network::step() {
     e2e_events_.pop();
     ni(ev.src).deliver_e2e_response(t, ev.id, ev.ok);
   }
-  for (auto& r : routers_) r->receive(t);
-  for (auto& n : nis_) n->receive(t);
-  for (auto& r : routers_) r->execute(t);
-  for (auto& n : nis_) n->execute(t);
+
+  // Idle-skip: a node whose internal state is quiescent and whose incoming
+  // lanes are all empty cannot change any state this cycle — receive() would
+  // pop nothing and every execute() stage scans empty/idle structures, with
+  // no RNG draws, counter updates or power events on those paths. Skipping
+  // the visit is therefore observationally equivalent (bit-identical), not
+  // an approximation. Flags are computed once up front, after the e2e drain
+  // (which may refill an NI), and before any phase runs: all cross-node
+  // signals travel through delay lines with latency >= 1, so nothing pushed
+  // during this cycle's phases could have made a skipped node busy at t.
+  const std::size_t n = routers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    skip_router_[i] = router_has_work(static_cast<NodeId>(i)) ? 0 : 1;
+    skip_ni_[i] = ni_has_work(static_cast<NodeId>(i)) ? 0 : 1;
+    router_steps_skipped_ += skip_router_[i];
+    ni_steps_skipped_ += skip_ni_[i];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!skip_router_[i]) routers_[i]->receive(t);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!skip_ni_[i]) nis_[i]->receive(t);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!skip_router_[i]) routers_[i]->execute(t);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!skip_ni_[i]) nis_[i]->execute(t);
+  }
   ++now_;
 }
 

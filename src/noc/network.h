@@ -121,6 +121,11 @@ class Network {
   /// True when no packet, flit, credit, ACK or timer is in flight anywhere.
   bool drained() const;
 
+  /// Idle-skip diagnostics: how many per-node phase visits step() elided
+  /// because the node was provably quiescent (see step() for the argument).
+  std::uint64_t router_steps_skipped() const noexcept { return router_steps_skipped_; }
+  std::uint64_t ni_steps_skipped() const noexcept { return ni_steps_skipped_; }
+
   /// RNG stream for payload generation (shared by make_packet callers that
   /// don't carry their own stream).
   Rng& payload_rng() noexcept { return payload_rng_; }
@@ -161,6 +166,9 @@ class Network {
     return static_cast<std::size_t>(node) * kNumPorts + port_index(p);
   }
 
+  bool router_has_work(NodeId node) const;
+  bool ni_has_work(NodeId node) const;
+
   NocConfig cfg_;
   MeshTopology topo_;
   Cycle now_ = 0;
@@ -185,6 +193,13 @@ class Network {
   std::vector<StatAccumulator> latency_window_;
 
   EventTracer* tracer_ = nullptr;
+
+  /// Per-node skip flags, recomputed each step() (scratch, reused to avoid
+  /// per-cycle allocation).
+  std::vector<std::uint8_t> skip_router_;
+  std::vector<std::uint8_t> skip_ni_;
+  std::uint64_t router_steps_skipped_ = 0;
+  std::uint64_t ni_steps_skipped_ = 0;
 
   Rng payload_rng_;
 };

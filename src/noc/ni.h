@@ -12,11 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "noc/flit.h"
 #include "noc/noc_config.h"
@@ -72,6 +72,14 @@ class NetworkInterface {
            assembling_.empty();
   }
 
+  /// True when the injection side can produce nothing this cycle: no queued
+  /// or in-flight packet transmission. Reassembly/retained state does not
+  /// matter here — it only reacts to arriving flits/responses, which the
+  /// network's idle-skip check accounts for separately.
+  bool injection_idle() const noexcept {
+    return queue_.empty() && reinject_.empty() && !sending_;
+  }
+
   const NiCounters& counters() const noexcept { return counters_; }
 
  private:
@@ -100,8 +108,8 @@ class NetworkInterface {
   const NocConfig* cfg_;
   Network* net_;
 
-  std::deque<Packet> queue_;     ///< fresh packets
-  std::deque<Packet> reinject_;  ///< end-to-end retransmissions (priority)
+  RingBuffer<Packet> queue_;     ///< fresh packets
+  RingBuffer<Packet> reinject_;  ///< end-to-end retransmissions (priority)
   std::optional<Packet> sending_;
   bool sending_is_reinject_ = false;
   std::size_t next_flit_ = 0;

@@ -1,0 +1,145 @@
+// Per-output-port ARQ retention buffer with O(1) lookup by FlitId.
+//
+// The retention buffer holds the pristine encoded copy of every flit that is
+// on the wire awaiting a link-level ACK. It is bounded (NocConfig::
+// retention_depth, 8 by default) but interrogated constantly: every ACK/NACK
+// arrival, every re-send and every mode-2 duplicate resolves its entry by
+// FlitId. The previous std::vector scan made each of those O(depth); this
+// table makes them O(1) without allocating after construction.
+//
+// Layout: a preallocated slot array (capacity == retention_depth) with a
+// free-list, plus an open-addressed linear-probe index mapping FlitId ->
+// slot. Slots are pointer-stable for the lifetime of an entry, so callers
+// may hold ArqRetention* across unrelated insert/erase calls. Deletion uses
+// backward-shift compaction, so probe chains never accumulate tombstones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "noc/flit.h"
+
+namespace rlftnoc {
+
+/// Retained copy of a transmitted flit awaiting link-level ACK.
+struct ArqRetention {
+  Flit clean;          ///< pristine encoded flit (payload + check bits)
+  int unresolved = 0;  ///< copies on the wire without a response yet
+  bool resend_queued = false;
+};
+
+class RetentionTable {
+ public:
+  RetentionTable() = default;
+
+  /// Sizes the table for at most `capacity` live entries. Discards contents.
+  void reset(std::size_t capacity) {
+    RLFTNOC_CHECK(capacity > 0, "RetentionTable: zero capacity");
+    slots_.assign(capacity, Slot{});
+    free_.resize(capacity);
+    for (std::size_t i = 0; i < capacity; ++i)
+      free_[i] = static_cast<std::uint32_t>(capacity - 1 - i);
+    std::size_t nb = 2;
+    while (nb < capacity * 2) nb <<= 1;
+    buckets_.assign(nb, Bucket{});
+    size_ = 0;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Looks up the entry for `id`; nullptr if absent.
+  ArqRetention* find(FlitId id) noexcept {
+    const std::size_t mask = buckets_.size() - 1;
+    for (std::size_t j = hash(id) & mask;; j = (j + 1) & mask) {
+      const Bucket& b = buckets_[j];
+      if (b.key == kEmptyKey) return nullptr;
+      if (b.key == id) return &slots_[b.slot].entry;
+    }
+  }
+  const ArqRetention* find(FlitId id) const noexcept {
+    return const_cast<RetentionTable*>(this)->find(id);
+  }
+
+  /// Inserts a new entry for `id` and returns it. The caller must ensure
+  /// there is room (size() < capacity()) and that `id` is not present —
+  /// both are protocol invariants the auditor also checks.
+  ArqRetention& insert(FlitId id, ArqRetention entry) {
+    RLFTNOC_CHECK(size_ < slots_.size(), "RetentionTable: insert past capacity");
+    RLFTNOC_CHECK(find(id) == nullptr, "RetentionTable: duplicate FlitId");
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    slots_[slot].entry = std::move(entry);
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t j = hash(id) & mask;
+    while (buckets_[j].key != kEmptyKey) j = (j + 1) & mask;
+    buckets_[j] = Bucket{id, slot};
+    ++size_;
+    return slots_[slot].entry;
+  }
+
+  /// Removes the entry for `id` if present; returns whether it existed.
+  bool erase(FlitId id) noexcept {
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t j = hash(id) & mask;
+    while (true) {
+      if (buckets_[j].key == kEmptyKey) return false;
+      if (buckets_[j].key == id) break;
+      j = (j + 1) & mask;
+    }
+    free_.push_back(buckets_[j].slot);
+    --size_;
+    // Backward-shift deletion: pull each displaced successor into the hole
+    // so lookups never need tombstones.
+    std::size_t hole = j;
+    for (std::size_t k = (j + 1) & mask; buckets_[k].key != kEmptyKey;
+         k = (k + 1) & mask) {
+      const std::size_t ideal = hash(buckets_[k].key) & mask;
+      if (((k - ideal) & mask) >= ((k - hole) & mask)) {
+        buckets_[hole] = buckets_[k];
+        hole = k;
+      }
+    }
+    buckets_[hole] = Bucket{};
+    return true;
+  }
+
+  /// Visits every live (id, entry) pair in unspecified order (audit and
+  /// drain checks only — both are order-independent).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Bucket& b : buckets_) {
+      if (b.key != kEmptyKey) fn(b.key, slots_[b.slot].entry);
+    }
+  }
+
+ private:
+  // FlitId packs (packet_id << 8) | seq, so low bits alone collide heavily;
+  // a splitmix64-style finalizer spreads them across the buckets.
+  static std::size_t hash(FlitId id) noexcept {
+    std::uint64_t x = id + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+
+  static constexpr FlitId kEmptyKey = ~static_cast<FlitId>(0);
+
+  struct Slot {
+    ArqRetention entry;
+  };
+  struct Bucket {
+    FlitId key = kEmptyKey;
+    std::uint32_t slot = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< indices of unused slots (LIFO)
+  std::vector<Bucket> buckets_;      ///< open-addressed index, pow2 size
+  std::size_t size_ = 0;
+};
+
+}  // namespace rlftnoc

@@ -25,6 +25,13 @@ Router::Router(NodeId id, const NocConfig* cfg, Network* net)
     const int depth = (static_cast<Port>(p) == Port::kLocal) ? cfg_->local_vc_depth
                                                              : cfg_->vc_depth;
     for (auto& vc : op.vcs) vc.credits = depth;
+    // Pre-size every hot queue to its protocol bound so the per-cycle
+    // datapath never allocates: input FIFOs hold at most vc_depth flits and
+    // the ARQ structures at most retention_depth entries.
+    for (auto& iv : input_[p]) iv.fifo.reserve(static_cast<std::size_t>(cfg_->vc_depth));
+    op.retention.reset(static_cast<std::size_t>(cfg_->retention_depth));
+    op.retx_queue.reserve(static_cast<std::size_t>(cfg_->retention_depth));
+    op.dup_queue.reserve(static_cast<std::size_t>(cfg_->retention_depth));
   }
 }
 
@@ -137,7 +144,7 @@ void Router::send_link_response(Cycle now, Port in_port, FlitId id, VcId vc, boo
 
 void Router::handle_ack(Port out_port, const AckMsg& ack) {
   const std::size_t pi = port_index(out_port);
-  Retention* r = find_retention(out_port, ack.flit_id);
+  ArqRetention* r = find_retention(out_port, ack.flit_id);
   if (r == nullptr) return;  // response for an entry already freed
 
   if (!ack.nack) {
@@ -150,9 +157,8 @@ void Router::handle_ack(Port out_port, const AckMsg& ack) {
   ++counters_.nacks_received[pi];
   r->unresolved = std::max(0, r->unresolved - 1);
   OutputPort& op = output_[pi];
-  const bool dup_scheduled =
-      std::any_of(op.dup_queue.begin(), op.dup_queue.end(),
-                  [&](const OutputPort::PendingDup& d) { return d.id == ack.flit_id; });
+  const bool dup_scheduled = op.dup_queue.any_of(
+      [&](const OutputPort::PendingDup& d) { return d.id == ack.flit_id; });
   if (r->unresolved == 0 && !dup_scheduled && !r->resend_queued) {
     op.retx_queue.push_back(ack.flit_id);
     r->resend_queued = true;
@@ -181,7 +187,7 @@ void Router::stage_link_resend(Cycle now) {
     bool sent = false;
     while (!op.retx_queue.empty()) {
       const FlitId fid = op.retx_queue.front();
-      Retention* r = find_retention(p, fid);
+      ArqRetention* r = find_retention(p, fid);
       op.retx_queue.pop_front();
       if (r == nullptr) continue;  // freed by a racing ACK
       r->resend_queued = false;
@@ -203,7 +209,7 @@ void Router::stage_link_resend(Cycle now) {
     while (!op.dup_queue.empty() && op.dup_queue.front().earliest <= now) {
       const FlitId fid = op.dup_queue.front().id;
       op.dup_queue.pop_front();
-      Retention* r = find_retention(p, fid);
+      ArqRetention* r = find_retention(p, fid);
       if (r == nullptr) continue;  // original already ACKed
       Flit copy = r->clean;
       copy.hop_retransmission = true;
@@ -352,11 +358,11 @@ void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
     flit.ecc = encode_flit_ecc(default_secded(), flit.payload);
     flit.ecc_valid = true;
     net_->record_power(id_, PowerEvent::kEccEncode);
-    op.retention.push_back(Retention{flit, 1, false});
+    op.retention.insert(flit.id(), ArqRetention{flit, 1, false});
     net_->record_power(id_, PowerEvent::kOutputBufferWrite);
   }
   if (is_copy) {
-    Retention* r = find_retention(out_port, flit.id());
+    ArqRetention* r = find_retention(out_port, flit.id());
     // Callers verify the retention entry exists before resending.
     RLFTNOC_CHECK(r != nullptr,
                   "router %d port %s: resent flit %llu has no retention entry",
@@ -401,24 +407,19 @@ void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
 // Retention bookkeeping
 // --------------------------------------------------------------------------
 
-Router::Retention* Router::find_retention(Port p, FlitId id) {
-  auto& retention = output_[port_index(p)].retention;
-  for (auto& r : retention) {
-    if (r.clean.id() == id) return &r;
-  }
-  return nullptr;
+ArqRetention* Router::find_retention(Port p, FlitId id) {
+  return output_[port_index(p)].retention.find(id);
 }
 
 void Router::erase_retention(Port p, FlitId id) {
-  auto& retention = output_[port_index(p)].retention;
-  std::erase_if(retention, [&](const Retention& r) { return r.clean.id() == id; });
+  output_[port_index(p)].retention.erase(id);
 }
 
 void Router::drop_queued_copies(Port p, FlitId id) {
   OutputPort& op = output_[port_index(p)];
-  std::erase_if(op.retx_queue, [&](FlitId f) { return f == id; });
-  std::erase_if(op.dup_queue,
-                [&](const OutputPort::PendingDup& d) { return d.id == id; });
+  op.retx_queue.remove_if([&](FlitId f) { return f == id; });
+  op.dup_queue.remove_if(
+      [&](const OutputPort::PendingDup& d) { return d.id == id; });
 }
 
 // --------------------------------------------------------------------------
@@ -450,6 +451,19 @@ int Router::pending_link_work() const noexcept {
                           op.dup_queue.size());
   }
   return n;
+}
+
+bool Router::quiescent() const noexcept {
+  for (const auto& port : input_) {
+    for (const auto& vc : port) {
+      if (vc.state != InputVc::State::kIdle || !vc.fifo.empty()) return false;
+    }
+  }
+  for (const auto& op : output_) {
+    if (!op.retention.empty() || !op.retx_queue.empty() || !op.dup_queue.empty())
+      return false;
+  }
+  return true;
 }
 
 }  // namespace rlftnoc

@@ -23,14 +23,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
 #include <vector>
 
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "noc/channel.h"
 #include "noc/flit.h"
 #include "noc/noc_config.h"
+#include "noc/retention.h"
 
 namespace rlftnoc {
 
@@ -78,12 +78,19 @@ class Router {
   /// Pending ARQ work: retention entries + queued resends (drain check).
   int pending_link_work() const noexcept;
 
+  /// True when the router holds no state that could produce work on its own:
+  /// every input VC is idle with an empty FIFO and every output port has no
+  /// retention entries or queued resends/duplicates. A quiescent router's
+  /// receive/execute are no-ops as long as its incoming lanes are also empty
+  /// (the network checks those), which is what licenses idle-skip stepping.
+  bool quiescent() const noexcept;
+
   const RouterCounters& counters() const noexcept { return counters_; }
 
  private:
   /// Per-input-VC wormhole state machine.
   struct InputVc {
-    std::deque<Flit> fifo;
+    RingBuffer<Flit> fifo;
     enum class State : std::uint8_t { kIdle, kRouting, kWaitVc, kActive } state =
         State::kIdle;
     Port out_port = Port::kLocal;
@@ -96,23 +103,16 @@ class Router {
     int credits = 0;
   };
 
-  /// Retained copy of a transmitted flit awaiting link-level ACK.
-  struct Retention {
-    Flit clean;          ///< pristine encoded flit (payload + check bits)
-    int unresolved = 0;  ///< copies on the wire without a response yet
-    bool resend_queued = false;
-  };
-
   struct OutputPort {
     std::vector<OutputVc> vcs;
     Cycle busy_until = 0;  ///< first cycle the channel is free again
-    std::vector<Retention> retention;
-    std::deque<FlitId> retx_queue;  ///< NACK-triggered resends
+    RetentionTable retention;  ///< in-flight clean copies, keyed by FlitId
+    RingBuffer<FlitId> retx_queue;  ///< NACK-triggered resends
     struct PendingDup {
-      Cycle earliest;
-      FlitId id;
+      Cycle earliest = 0;
+      FlitId id = 0;
     };
-    std::deque<PendingDup> dup_queue;  ///< mode-2 proactive duplicates
+    RingBuffer<PendingDup> dup_queue;  ///< mode-2 proactive duplicates
     std::uint64_t next_lsn = 0;        ///< link sequence stamp for new flits
     int sa_rr = 0;                     ///< round-robin pointer for SA
     int va_rr = 0;                     ///< rotating start for output-VC scan
@@ -143,7 +143,7 @@ class Router {
   /// already exists). Updates port busy time.
   void transmit(Cycle now, Port out_port, Flit flit, bool is_copy);
 
-  Retention* find_retention(Port p, FlitId id);
+  ArqRetention* find_retention(Port p, FlitId id);
   void erase_retention(Port p, FlitId id);
   void drop_queued_copies(Port p, FlitId id);
 

@@ -1,8 +1,8 @@
 #include "sim/results_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -11,7 +11,8 @@ namespace rlftnoc {
 namespace {
 
 constexpr const char* kHeader =
-    "benchmark\tpolicy\texec_cycles\tdrained\tavg_latency\tpackets_injected\t"
+    "benchmark\tpolicy\texec_cycles\ttotal_cycles\tdrained\tavg_latency\t"
+    "packets_injected\t"
     "packets_delivered\tflits_delivered\tenqueue_drops\tretx_total\tretx_e2e\t"
     "retx_hop\tdup_flits\tcrc_failures\tdyn_pj\tleak_pj\ttotal_pj\tefficiency\t"
     "dyn_power_w\ttotal_power_w\tavg_temp\tmax_temp\tmode0\tmode1\tmode2\t"
@@ -26,6 +27,16 @@ PolicyKind policy_from_name(const std::string& name) {
   throw std::runtime_error("results_io: unknown policy name: " + name);
 }
 
+/// Index of `name` in `names`, in declaration order. Linear scan on purpose:
+/// campaigns have a handful of benchmarks/policies, and a flat vector makes
+/// the first-seen ordering (which report tables must follow) structural
+/// rather than an accident of the lookup container.
+std::size_t first_seen_index(const std::vector<std::string>& names,
+                             const std::string& name) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  return static_cast<std::size_t>(it - names.begin());
+}
+
 }  // namespace
 
 void write_results(std::ostream& out, const CampaignResults& results) {
@@ -38,7 +49,8 @@ void write_results(std::ostream& out, const CampaignResults& results) {
     for (std::size_t p = 0; p < results.policies.size(); ++p) {
       const SimResult& r = results.at(b, p);
       out << results.benchmarks[b] << '\t' << policy_name(results.policies[p])
-          << '\t' << r.execution_cycles << '\t' << (r.drained ? 1 : 0) << '\t'
+          << '\t' << r.execution_cycles << '\t' << r.total_cycles << '\t'
+          << (r.drained ? 1 : 0) << '\t'
           << r.avg_packet_latency << '\t' << r.packets_injected << '\t'
           << r.packets_delivered << '\t' << r.flits_delivered << '\t'
           << r.enqueue_drops << '\t'
@@ -63,16 +75,20 @@ void write_results_file(const std::string& path, const CampaignResults& results)
 }
 
 CampaignResults read_results(std::istream& in) {
+  // Leading `#` lines are annotations (the bench cache prepends an
+  // options-hash comment); skip them before the header check.
   std::string header;
-  if (!std::getline(in, header) || header != kHeader)
+  while (std::getline(in, header)) {
+    if (!header.empty() && header[0] != '#') break;
+  }
+  if (header != kHeader)
     throw std::runtime_error("results_io: header mismatch (stale cache?)");
 
   CampaignResults out;
-  std::map<std::string, std::size_t> bench_index;
-  std::map<std::string, std::size_t> policy_index;
+  std::vector<std::string> policy_names;  // first-seen, mirrors out.policies
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string bench;
     std::string policy;
@@ -82,7 +98,8 @@ CampaignResults read_results(std::istream& in) {
       throw std::runtime_error("results_io: malformed row");
     r.workload = bench;
     r.policy = policy;
-    if (!(ls >> r.execution_cycles >> drained >> r.avg_packet_latency >>
+    if (!(ls >> r.execution_cycles >> r.total_cycles >> drained >>
+          r.avg_packet_latency >>
           r.packets_injected >> r.packets_delivered >> r.flits_delivered >>
           r.enqueue_drops >>
           r.retransmitted_flits >> r.retx_flits_e2e >> r.retx_flits_hop >>
@@ -95,17 +112,17 @@ CampaignResults read_results(std::istream& in) {
       throw std::runtime_error("results_io: malformed row values");
     r.drained = drained != 0;
 
-    if (!bench_index.count(bench)) {
-      bench_index[bench] = out.benchmarks.size();
+    const std::size_t bi = first_seen_index(out.benchmarks, bench);
+    if (bi == out.benchmarks.size()) {
       out.benchmarks.push_back(bench);
       out.results.emplace_back();
     }
-    if (!policy_index.count(policy)) {
-      policy_index[policy] = out.policies.size();
+    const std::size_t pi = first_seen_index(policy_names, policy);
+    if (pi == policy_names.size()) {
+      policy_names.push_back(policy);
       out.policies.push_back(policy_from_name(policy));
     }
-    auto& row = out.results[bench_index[bench]];
-    const std::size_t pi = policy_index[policy];
+    auto& row = out.results[bi];
     if (row.size() != pi)
       throw std::runtime_error("results_io: rows out of order");
     row.push_back(std::move(r));

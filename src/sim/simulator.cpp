@@ -241,6 +241,7 @@ SimResult Simulator::run_impl(TrafficGenerator& workload) {
   res.drained = net_->drained();
   const Cycle last = std::max(m.last_delivery_cycle, measure_start);
   res.execution_cycles = last - measure_start;
+  res.total_cycles = net_->now();
   res.avg_packet_latency = m.packet_latency.mean();
   res.p50_latency = m.latency_hist.quantile(0.50);
   res.p95_latency = m.latency_hist.quantile(0.95);

@@ -103,6 +103,11 @@ struct SimResult {
   std::string policy;
 
   Cycle execution_cycles = 0;  ///< measure start -> last successful delivery
+  /// Every cycle the network stepped across all phases (pretrain + warmup +
+  /// measure + drain). execution_cycles only spans the measure window, so
+  /// this is the honest denominator for simulated-cycles-per-second
+  /// throughput tracking.
+  Cycle total_cycles = 0;
   bool drained = false;        ///< everything delivered before the guard
 
   double avg_packet_latency = 0.0;  ///< cycles, successful packets

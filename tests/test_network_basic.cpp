@@ -55,6 +55,28 @@ TEST(NetworkBasic, SingleFlitPacket) {
   EXPECT_EQ(net.metrics().flits_delivered, 1u);
 }
 
+TEST(NetworkBasic, IdleSkipElidesQuiescentNodes) {
+  Network net(small_cfg(), 1);
+  // A fully idle network: every per-node visit is provably a no-op, so all
+  // of them must be skipped.
+  for (int i = 0; i < 100; ++i) net.step();
+  const std::uint64_t nodes = 16;
+  EXPECT_EQ(net.router_steps_skipped(), 100 * nodes);
+  EXPECT_EQ(net.ni_steps_skipped(), 100 * nodes);
+
+  // With one packet crossing the mesh, the nodes it touches must NOT be
+  // skipped while it is in flight — but far-away corners still are.
+  Rng rng(7);
+  net.ni(0).enqueue_packet(make_packet(1, 0, 15, 4, net.now(), rng));
+  const std::uint64_t before_r = net.router_steps_skipped();
+  run_until_drained(net, 500);
+  EXPECT_EQ(net.metrics().packets_delivered, 1u);
+  const Cycle active_cycles = net.now() - 100;
+  const std::uint64_t skipped_r = net.router_steps_skipped() - before_r;
+  EXPECT_LT(skipped_r, active_cycles * nodes);  // some work happened
+  EXPECT_GT(skipped_r, 0u);                     // but idle corners were elided
+}
+
 TEST(NetworkBasic, SelfAddressedViaLocalPort) {
   // src == dst: the flit turns around through the router's local ports.
   Network net(small_cfg(), 1);

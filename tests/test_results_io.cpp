@@ -19,6 +19,7 @@ CampaignResults sample_results() {
       r.workload = res.benchmarks[b];
       r.policy = policy_name(res.policies[p]);
       r.execution_cycles = 1000 * n;
+      r.total_cycles = 600000 + 1000 * n;
       r.drained = true;
       r.avg_packet_latency = 10.5 * static_cast<double>(n);
       r.packets_injected = 100 * n;
@@ -62,6 +63,7 @@ TEST(ResultsIo, RoundTripPreservesEverything) {
       const SimResult& a = orig.at(b, p);
       const SimResult& c = back.at(b, p);
       EXPECT_EQ(a.execution_cycles, c.execution_cycles);
+      EXPECT_EQ(a.total_cycles, c.total_cycles);
       EXPECT_EQ(a.drained, c.drained);
       EXPECT_DOUBLE_EQ(a.avg_packet_latency, c.avg_packet_latency);
       EXPECT_EQ(a.packets_delivered, c.packets_delivered);
@@ -123,6 +125,47 @@ TEST(ResultsIo, RoundTripIsBitExactForUglyDoubles) {
   std::ostringstream os2;
   write_results(os2, back);
   EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(ResultsIo, PreservesDeclarationOrderNotLexicographic) {
+  // Campaign declaration order is deliberately anti-alphabetical; report
+  // tables must come back in this order, not sorted.
+  CampaignResults res;
+  res.benchmarks = {"zulu", "alpha"};
+  res.policies = {PolicyKind::kRl, PolicyKind::kStaticCrc};
+  res.results.resize(2);
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      SimResult r;
+      r.workload = res.benchmarks[b];
+      r.policy = policy_name(res.policies[p]);
+      r.execution_cycles = 10 * (b + 1) + p;
+      res.results[b].push_back(std::move(r));
+    }
+  }
+  std::ostringstream os;
+  write_results(os, res);
+  std::istringstream is(os.str());
+  const CampaignResults back = read_results(is);
+  ASSERT_EQ(back.benchmarks, (std::vector<std::string>{"zulu", "alpha"}));
+  ASSERT_EQ(back.policies.size(), 2u);
+  EXPECT_EQ(back.policies[0], PolicyKind::kRl);
+  EXPECT_EQ(back.policies[1], PolicyKind::kStaticCrc);
+  EXPECT_EQ(back.at(0, 0).execution_cycles, 10u);
+  EXPECT_EQ(back.at(1, 1).execution_cycles, 21u);
+}
+
+TEST(ResultsIo, SkipsCommentLines) {
+  std::ostringstream os;
+  write_results(os, sample_results());
+  const std::string body = os.str();
+  const std::string annotated =
+      "# campaign-options-hash 1f2e3d4c\n# another note\n" + body +
+      "# trailing comment\n";
+  std::istringstream is(annotated);
+  const CampaignResults back = read_results(is);
+  EXPECT_EQ(back.benchmarks.size(), 2u);
+  EXPECT_EQ(back.at(0, 0).execution_cycles, 1000u);
 }
 
 TEST(ResultsIo, RejectsStaleHeader) {

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Summarize (and optionally gate on) the rlftnoc perf artifacts.
+
+Inputs are the two JSON files produced by run_benches.sh:
+  BENCH_microperf.json  google-benchmark JSON from bench_microperf
+  BENCH_campaign.json   wall-time / simulated-cycles-per-second from
+                        bench_campaign (schema rlftnoc-bench-campaign-v1)
+
+Usage:
+  bench_summary.py MICROPERF_JSON CAMPAIGN_JSON
+      Print a human-readable summary table.
+
+  bench_summary.py MICROPERF_JSON CAMPAIGN_JSON \
+      --check-against BASELINE_MICROPERF BASELINE_CAMPAIGN [--threshold 0.25]
+      Additionally compare against a committed baseline and exit non-zero if
+      any gated micro-kernel slows down by more than the threshold, or the
+      campaign cycles-per-second throughput drops by more than it.
+
+The gate covers the kernels this repo actively optimizes; other benchmarks
+are reported but not gated (end-to-end network benches on shared CI runners
+are too noisy for a hard 25% bar at per-cycle granularity, the three gated
+coding/router kernels are not).
+"""
+
+import argparse
+import json
+import sys
+
+# Micro-kernels the CI perf-smoke job hard-fails on: the coding kernels and
+# the mid-load router-step kernel.
+GATED_KERNELS = [
+    "BM_Crc32Flit",
+    "BM_SecdedEncodeFlit",
+    "BM_SecdedDecodeCorrupted",
+    "BM_NetworkCyclePerLoad/8",
+]
+
+
+def load_microperf(path):
+    """Returns {benchmark name: real_time in ns}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[entry["name"]] = float(entry["real_time"]) * scale
+    if not out:
+        sys.exit(f"{path}: no benchmark entries found")
+    return out
+
+
+def load_campaign(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rlftnoc-bench-campaign-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def print_summary(micro, campaign):
+    width = max(len(n) for n in micro)
+    print(f"{'micro-kernel':<{width}}  {'ns/op':>12}  gated")
+    for name, ns in micro.items():
+        gate = "yes" if name in GATED_KERNELS else ""
+        print(f"{name:<{width}}  {ns:>12.2f}  {gate}")
+    print()
+    print(f"campaign runs            : {campaign['runs']}")
+    print(f"campaign wall seconds    : {campaign['wall_seconds']:.3f}")
+    print(f"campaign simulated cycles: {campaign['simulated_cycles']}")
+    print(f"campaign cycles/second   : {campaign['cycles_per_second']:.0f}")
+
+
+def check(micro, campaign, base_micro, base_campaign, threshold):
+    """Returns a list of regression messages (empty = pass)."""
+    failures = []
+    for name in GATED_KERNELS:
+        if name not in micro or name not in base_micro:
+            failures.append(f"gated kernel {name} missing from results")
+            continue
+        new, old = micro[name], base_micro[name]
+        if old > 0 and new > old * (1.0 + threshold):
+            failures.append(
+                f"{name}: {new:.2f} ns vs baseline {old:.2f} ns "
+                f"(+{(new / old - 1.0) * 100.0:.1f}%, limit "
+                f"+{threshold * 100.0:.0f}%)"
+            )
+    new_cps = campaign["cycles_per_second"]
+    old_cps = base_campaign["cycles_per_second"]
+    if old_cps > 0 and new_cps < old_cps * (1.0 - threshold):
+        failures.append(
+            f"campaign throughput: {new_cps:.0f} cycles/s vs baseline "
+            f"{old_cps:.0f} ({(new_cps / old_cps - 1.0) * 100.0:.1f}%, limit "
+            f"-{threshold * 100.0:.0f}%)"
+        )
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("microperf")
+    ap.add_argument("campaign")
+    ap.add_argument(
+        "--check-against",
+        nargs=2,
+        metavar=("BASELINE_MICROPERF", "BASELINE_CAMPAIGN"),
+        help="baseline JSON pair to gate against",
+    )
+    ap.add_argument("--threshold", type=float, default=0.25)
+    args = ap.parse_args()
+
+    micro = load_microperf(args.microperf)
+    campaign = load_campaign(args.campaign)
+    print_summary(micro, campaign)
+
+    if args.check_against:
+        base_micro = load_microperf(args.check_against[0])
+        base_campaign = load_campaign(args.check_against[1])
+        failures = check(micro, campaign, base_micro, base_campaign, args.threshold)
+        print()
+        if failures:
+            for msg in failures:
+                print(f"PERF REGRESSION: {msg}")
+            sys.exit(1)
+        print(
+            f"perf check passed (threshold {args.threshold * 100.0:.0f}%, "
+            f"{len(GATED_KERNELS)} gated kernels + campaign throughput)"
+        )
+
+
+if __name__ == "__main__":
+    main()
