@@ -1,7 +1,7 @@
 // rlftnoc_run — config-file-driven simulation CLI.
 //
 // Usage:
-//   rlftnoc_run <config-file> [--jobs N] [--audit] [--trace]
+//   rlftnoc_run <config-file> [--jobs N] [--sim-threads N] [--audit] [--trace]
 //               [--trace-dir D] [--metrics-interval N] [key=value ...]
 //   rlftnoc_run --dump-defaults
 //
@@ -11,6 +11,10 @@
 //   trace         = <path>           (overrides workload: replay a trace)
 //   seed          = 1
 //   jobs          = 1                (campaign-mode parallelism; also --jobs N)
+//   sim_threads   = 1                (threads inside one run's Network::step;
+//                                     0 = hardware threads; also --sim-threads N.
+//                                     Results are bit-identical for any value;
+//                                     total threads ~= jobs x sim_threads)
 //   audit         = false            (per-cycle invariant audit; also --audit)
 //   audit_interval= 1                (cycles between audit sweeps)
 //   telemetry     = false            (event trace + metrics; also --trace)
@@ -190,6 +194,15 @@ int main(int argc, char** argv) {
       }
       if (kv.rfind("--jobs=", 0) == 0) {
         cfg.set("jobs", kv.substr(7));
+        continue;
+      }
+      if (kv == "--sim-threads") {
+        if (i + 1 >= argc) throw ConfigError("--sim-threads needs a value");
+        cfg.set("sim_threads", argv[++i]);
+        continue;
+      }
+      if (kv.rfind("--sim-threads=", 0) == 0) {
+        cfg.set("sim_threads", kv.substr(14));
         continue;
       }
       if (kv == "--audit") {

@@ -68,4 +68,118 @@ void ThreadPool::worker_loop() {
   }
 }
 
+// --------------------------------------------------------------------------
+// PhasePool
+// --------------------------------------------------------------------------
+
+namespace {
+// Spinning only ever helps when another core can make progress meanwhile.
+bool spin_waits_useful() { return std::thread::hardware_concurrency() > 1; }
+constexpr int kSpinIterations = 2048;
+}  // namespace
+
+PhasePool::PhasePool(unsigned helpers) {
+  workers_.reserve(helpers);
+  for (unsigned i = 0; i < helpers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+PhasePool::~PhasePool() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void PhasePool::run_impl(std::size_t tasks, TaskFn fn, void* ctx) {
+  if (tasks == 0) return;
+  if (workers_.empty() || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(ctx, i);
+    rethrow_any_error();
+    return;
+  }
+
+  // Publish the phase: descriptor first, then the dispenser (release), then
+  // the epoch (release + wake). A straggler that claims a task through the
+  // dispenser alone still acquires the descriptor through next_.
+  fn_.store(fn, std::memory_order_relaxed);
+  ctx_.store(ctx, std::memory_order_relaxed);
+  tasks_.store(tasks, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+
+  drain_tasks();  // the caller is an executor too
+
+  const auto want = static_cast<std::uint32_t>(tasks);
+  const bool spin = spin_waits_useful();
+  for (;;) {
+    std::uint32_t d = done_.load(std::memory_order_acquire);
+    if (d == want) break;
+    if (spin) {
+      for (int s = 0; s < kSpinIterations; ++s) {
+        d = done_.load(std::memory_order_acquire);
+        if (d == want) break;
+      }
+      if (d == want) break;
+    }
+    done_.wait(d, std::memory_order_acquire);
+  }
+
+  rethrow_any_error();
+}
+
+void PhasePool::rethrow_any_error() {
+  if (!has_error_.load(std::memory_order_acquire)) return;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    err = std::exchange(first_error_, nullptr);
+    has_error_.store(false, std::memory_order_release);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void PhasePool::drain_tasks() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    const std::size_t n = tasks_.load(std::memory_order_acquire);
+    if (i >= n) return;
+    TaskFn fn = fn_.load(std::memory_order_acquire);
+    void* ctx = ctx_.load(std::memory_order_acquire);
+    try {
+      fn(ctx, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      has_error_.store(true, std::memory_order_release);
+    }
+    // The finishing increment wakes the caller; intermediate ones stay
+    // syscall-free.
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        static_cast<std::uint32_t>(n))
+      done_.notify_all();
+  }
+}
+
+void PhasePool::worker_loop() {
+  std::uint32_t seen = epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    // The stop check must sit between loading `seen` and waiting on it. A
+    // worker that loads the destructor's final epoch bump — possible even on
+    // its very first load, when the thread is scheduled late — would
+    // otherwise park on an epoch nobody will ever advance or notify again.
+    // The acquire load that returned the final value synchronizes with the
+    // destructor's release increment, so stop_ is guaranteed visible here;
+    // and if the bump lands after this check instead, epoch_ no longer
+    // equals `seen`, so the wait below returns immediately.
+    if (stop_.load(std::memory_order_acquire)) return;
+    epoch_.wait(seen, std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    drain_tasks();
+  }
+}
+
 }  // namespace rlftnoc

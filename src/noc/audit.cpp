@@ -65,6 +65,7 @@ std::vector<AuditViolation> NetworkAuditor::run(const Network& net) {
   audit_arq_consistency(net, out);
   audit_allocation_structure(net, out);
   audit_ni_state(net, out);
+  audit_parallel_staging(net, out);
   if (out.empty()) ++clean_passes_;
   return out;
 }
@@ -433,6 +434,75 @@ void NetworkAuditor::audit_ni_state(const Network& net,
            << " of " << a.expected << " flits (complete packets must be"
            << " finalized immediately)";
         fail(os.str());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Parallel staging: shard partition + sink binding + drained buffers.
+// ---------------------------------------------------------------------------
+void NetworkAuditor::audit_parallel_staging(
+    const Network& net, std::vector<AuditViolation>& out) const {
+  const auto fail = [&](NodeId node, const std::string& detail) {
+    out.push_back(make_violation("parallel-staging", net.now(), node, detail));
+  };
+
+  const NodeId n = net.config().num_nodes();
+  if (net.shards_.empty()) {
+    fail(kInvalidNode, "shard partition is empty");
+    return;
+  }
+  if (net.fx_.size() != net.shards_.size()) {
+    std::ostringstream os;
+    os << net.fx_.size() << " staging buffers for " << net.shards_.size()
+       << " shards";
+    fail(kInvalidNode, os.str());
+    return;
+  }
+
+  NodeId expect_lo = 0;
+  for (std::size_t s = 0; s < net.shards_.size(); ++s) {
+    const auto& shard = net.shards_[s];
+    if (shard.lo != expect_lo || shard.hi <= shard.lo) {
+      std::ostringstream os;
+      os << "shard " << s << " spans [" << shard.lo << ", " << shard.hi
+         << ") but must start at " << expect_lo << " and be non-empty";
+      fail(kInvalidNode, os.str());
+      return;
+    }
+    expect_lo = shard.hi;
+  }
+  if (expect_lo != n) {
+    std::ostringstream os;
+    os << "shard partition covers [0, " << expect_lo << ") of [0, " << n << ")";
+    fail(kInvalidNode, os.str());
+    return;
+  }
+
+  const bool tracing = net.tracer_ != nullptr;
+  for (std::size_t s = 0; s < net.shards_.size(); ++s) {
+    const StepEffects& fx = net.fx_[s];
+    if (!fx.empty()) {
+      std::ostringstream os;
+      os << "shard " << s << " staging buffer not drained between steps";
+      fail(kInvalidNode, os.str());
+    }
+    for (NodeId node = net.shards_[s].lo; node < net.shards_[s].hi; ++node) {
+      const Router& router = net.router(node);
+      const NetworkInterface& ni = net.ni(node);
+      if (router.fx_ != &fx || ni.fx_ != &fx) {
+        std::ostringstream os;
+        os << "effect sink not bound to owning shard " << s;
+        fail(node, os.str());
+      }
+      const TraceStage* want_rt = tracing ? &fx.router_trace : nullptr;
+      const TraceStage* want_nt = tracing ? &fx.ni_trace : nullptr;
+      if (router.trace_ != want_rt || ni.trace_ != want_nt) {
+        std::ostringstream os;
+        os << "trace stage binding inconsistent with tracer state (shard "
+           << s << ")";
+        fail(node, os.str());
       }
     }
   }

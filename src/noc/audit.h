@@ -33,6 +33,11 @@
 //     the sender's stamp counter.
 //  5. Switch-allocation structure: an output VC is marked allocated iff
 //     exactly one active input VC claims it.
+//  6. Parallel staging: the shard partition is contiguous, ascending and
+//     covers [0, num_nodes) exactly; every router and NI is bound to the
+//     staging buffer (and trace stage) of the shard that owns it; and all
+//     staging buffers are empty between steps — a non-empty buffer means a
+//     staged effect escaped the canonical merge.
 //
 // Violations are reported with the offending cycle / router / port so a
 // failure in a million-cycle campaign points straight at the broken state.
@@ -100,6 +105,8 @@ class NetworkAuditor {
                                   std::vector<AuditViolation>& out) const;
   void audit_ni_state(const Network& net,
                       std::vector<AuditViolation>& out) const;
+  void audit_parallel_staging(const Network& net,
+                              std::vector<AuditViolation>& out) const;
 
   std::uint64_t clean_passes_ = 0;
 };

@@ -1,8 +1,19 @@
 #include "noc/network.h"
 
+#include <algorithm>
 #include <string>
+#include <thread>
 
 namespace rlftnoc {
+
+namespace {
+/// Minimum busy router+NI visits in a cycle before the pooled path pays for
+/// its dispatch overhead; below it the phases run inline on the caller.
+/// Purely a performance knob — both paths produce identical staging.
+constexpr std::uint64_t kMinBusyVisitsForPool = 8;
+/// Minimum mesh size before the flags phase itself is worth pooling.
+constexpr std::size_t kMinNodesForPooledFlags = 256;
+}  // namespace
 
 Network::Network(const NocConfig& cfg, std::uint64_t seed, VariusParams varius,
                  PowerParams power)
@@ -44,6 +55,54 @@ Network::Network(const NocConfig& cfg, std::uint64_t seed, VariusParams varius,
   }
   skip_router_.assign(static_cast<std::size_t>(n), 0);
   skip_ni_.assign(static_cast<std::size_t>(n), 0);
+  build_shards(1);
+}
+
+void Network::set_sim_threads(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  sim_threads_ = threads;
+  const auto n = routers_.size();
+  const std::size_t shards = std::min<std::size_t>(threads, n ? n : 1);
+  build_shards(shards);
+  if (shards > 1) {
+    pool_ = std::make_unique<PhasePool>(threads - 1);
+  } else {
+    pool_.reset();
+  }
+}
+
+void Network::build_shards(std::size_t shards) {
+  const auto n = static_cast<NodeId>(routers_.size());
+  if (shards == 0) shards = 1;
+  shards_.clear();
+  // Even split; the first (n % shards) shards take one extra node, so the
+  // ranges are contiguous, ascending, and cover [0, n) exactly.
+  const NodeId base = n / static_cast<NodeId>(shards);
+  const NodeId extra = n % static_cast<NodeId>(shards);
+  NodeId lo = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const NodeId len = base + (static_cast<NodeId>(s) < extra ? 1 : 0);
+    shards_.push_back(Shard{lo, lo + len});
+    lo += len;
+  }
+  RLFTNOC_CHECK(lo == n, "shard partition covers %d of %d nodes", lo, n);
+  fx_ = std::vector<StepEffects>(shards_.size());
+  bind_effect_sinks();
+}
+
+void Network::bind_effect_sinks() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    StepEffects* fx = &fx_[s];
+    for (NodeId node = shards_[s].lo; node < shards_[s].hi; ++node) {
+      routers_[static_cast<std::size_t>(node)]->set_effect_sinks(
+          fx, tracer_ != nullptr ? &fx->router_trace : nullptr);
+      nis_[static_cast<std::size_t>(node)]->set_effect_sinks(
+          fx, tracer_ != nullptr ? &fx->ni_trace : nullptr);
+    }
+  }
 }
 
 ChannelPair* Network::out_channel(NodeId node, Port p) {
@@ -59,16 +118,25 @@ ChannelPair* Network::in_channel(NodeId node, Port p) {
 }
 
 void Network::set_link_error_prob(NodeId node, Port p, LinkErrorProb prob) {
-  link_prob_.at(link_index(node, p)) = prob;
+  const std::size_t idx = link_index(node, p);
+  RLFTNOC_CHECK(idx < link_prob_.size(),
+                "set_link_error_prob(%d, %s): out of range", node, port_name(p));
+  link_prob_[idx] = prob;
 }
 
 LinkErrorProb Network::link_error_prob(NodeId node, Port p) const {
-  return link_prob_.at(link_index(node, p));
+  const std::size_t idx = link_index(node, p);
+  RLFTNOC_CHECK(idx < link_prob_.size(), "link_error_prob(%d, %s): out of range",
+                node, port_name(p));
+  return link_prob_[idx];
 }
 
-void Network::corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed) {
+void Network::corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed,
+                              TraceStage* stage) {
   if (p == Port::kLocal) return;
   const std::size_t idx = link_index(node, p);
+  RLFTNOC_CHECK(idx < injectors_.size(), "corrupt_on_wire(%d, %s): out of range",
+                node, port_name(p));
   LinkFaultInjector* inj = injectors_[idx].get();
   if (inj == nullptr) return;
   const LinkErrorProb& prob = link_prob_[idx];
@@ -77,17 +145,31 @@ void Network::corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed) {
   const InjectionResult res =
       inj->inject(flit.payload, flit.ecc_valid ? &flit.ecc : nullptr, pe);
   if (res.error_event) {
-    RLFTNOC_TRACE(tracer_, TraceEventKind::kFaultInjected, now_, node,
-                  static_cast<std::int8_t>(port_index(p)), res.bits_flipped);
+    if (stage != nullptr) {
+      RLFTNOC_TRACE(stage, TraceEventKind::kFaultInjected, now_, node,
+                    static_cast<std::int8_t>(port_index(p)), res.bits_flipped);
+    } else {
+      RLFTNOC_TRACE(tracer_, TraceEventKind::kFaultInjected, now_, node,
+                    static_cast<std::int8_t>(port_index(p)), res.bits_flipped);
+    }
   }
 }
 
 void Network::add_path_latency(NodeId src, NodeId dst, double latency_cycles) {
-  // Walk the deterministic X-Y path and credit every traversed router.
+  // Walk the deterministic X-Y path and credit every traversed router. The
+  // port -> node-id step is inlined (row-major layout) so the walk is one
+  // LUT load plus an add per hop.
+  const NodeId w = topo_.width();
   NodeId cur = src;
   latency_window_[static_cast<std::size_t>(cur)].add(latency_cycles);
   while (cur != dst) {
-    cur = topo_.neighbor(cur, topo_.xy_route(cur, dst));
+    switch (topo_.xy_route(cur, dst)) {
+      case Port::kEast: ++cur; break;
+      case Port::kWest: --cur; break;
+      case Port::kNorth: cur += w; break;
+      case Port::kSouth: cur -= w; break;
+      case Port::kLocal: return;  // unreachable: loop guard is cur != dst
+    }
     latency_window_[static_cast<std::size_t>(cur)].add(latency_cycles);
   }
 }
@@ -129,8 +211,69 @@ bool Network::ni_has_work(NodeId node) const {
   return false;
 }
 
+template <typename F>
+void Network::for_each_shard(bool pooled, F&& f) {
+  if (pooled && pool_ != nullptr && shards_.size() > 1) {
+    ++pooled_phase_dispatches_;
+    pool_->run(shards_.size(), f);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) f(s);
+  }
+}
+
+void Network::merge_effects(Cycle now) {
+  // Canonical merge: one pass over the shards per effect kind, in shard
+  // order (= ascending node order, matching the serial stepper's emission
+  // order). Per kind:
+  //  * trace — router streams first, then NI streams, because the serial
+  //    stepper runs all routers before all NIs within a phase,
+  //  * ACKs — replayed pushes with the same `now` stamp they would have had
+  //    inline; they mature at now+1 either way, and each ack lane has a
+  //    single producer, so per-lane order is the producer's staging order,
+  //  * e2e events — `e2e_seq_` is assigned here, so the tie-break stream is
+  //    the canonical order for any shard count,
+  //  * latency samples / path credits — replayed through the global
+  //    accumulators in delivery order (FP addition order preserved),
+  //  * counters — plain sums.
+  for (StepEffects& fx : fx_) {
+    staged_effects_merged_ += fx.router_trace.size();
+    fx.router_trace.drain_into(tracer_);
+  }
+  for (StepEffects& fx : fx_) {
+    staged_effects_merged_ += fx.ni_trace.size();
+    fx.ni_trace.drain_into(tracer_);
+  }
+  for (StepEffects& fx : fx_) {
+    staged_effects_merged_ +=
+        fx.acks.size() + fx.e2e.size() + fx.path_credits.size();
+    for (const StepEffects::StagedAck& a : fx.acks) a.lane->push(now, a.msg);
+    for (const StepEffects::StagedE2e& e : fx.e2e)
+      e2e_events_.push(E2eEvent{e.at, e.src, e.id, e.ok, e2e_seq_++});
+    for (const StepEffects::StagedPathCredit& c : fx.path_credits)
+      add_path_latency(c.src, c.dst, c.latency);
+    if (!fx.latency_samples.empty()) {
+      for (const double v : fx.latency_samples) {
+        metrics_.packet_latency.add(v);
+        metrics_.latency_hist.add(v);
+      }
+      metrics_.last_delivery_cycle = now;
+    }
+    metrics_.packets_injected += fx.packets_injected;
+    metrics_.packets_delivered += fx.packets_delivered;
+    metrics_.flits_delivered += fx.flits_delivered;
+    metrics_.retx_flits_hop += fx.retx_flits_hop;
+    metrics_.dup_flits += fx.dup_flits;
+    metrics_.crc_packet_failures += fx.crc_packet_failures;
+    fx.clear_posts();
+  }
+}
+
 void Network::step() {
   const Cycle t = now_;
+  // End-to-end responses drain serially before the phases: delivery may
+  // refill an NI (reinject queue), which the skip flags must observe. This
+  // path keeps the direct metric/trace sinks — it never runs inside a
+  // parallel phase.
   while (!e2e_events_.empty() && e2e_events_.top().at <= t) {
     const E2eEvent ev = e2e_events_.top();
     e2e_events_.pop();
@@ -146,26 +289,65 @@ void Network::step() {
   // (which may refill an NI), and before any phase runs: all cross-node
   // signals travel through delay lines with latency >= 1, so nothing pushed
   // during this cycle's phases could have made a skipped node busy at t.
+  //
+  // The flags phase only *reads* settled network state and writes per-node
+  // slots plus per-shard counters, so it parallelizes as-is (pooled only on
+  // large meshes — the work per node is a handful of empty() checks).
   const std::size_t n = routers_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    skip_router_[i] = router_has_work(static_cast<NodeId>(i)) ? 0 : 1;
-    skip_ni_[i] = ni_has_work(static_cast<NodeId>(i)) ? 0 : 1;
-    router_steps_skipped_ += skip_router_[i];
-    ni_steps_skipped_ += skip_ni_[i];
+  for_each_shard(n >= kMinNodesForPooledFlags, [&](std::size_t s) {
+    StepEffects& fx = fx_[s];
+    for (NodeId node = shards_[s].lo; node < shards_[s].hi; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      skip_router_[i] = router_has_work(node) ? 0 : 1;
+      skip_ni_[i] = ni_has_work(node) ? 0 : 1;
+      fx.router_skipped += skip_router_[i];
+      fx.ni_skipped += skip_ni_[i];
+      fx.busy_visits += (2u - skip_router_[i]) - skip_ni_[i];
+    }
+  });
+  std::uint64_t busy = 0;
+  for (StepEffects& fx : fx_) {
+    router_steps_skipped_ += fx.router_skipped;
+    ni_steps_skipped_ += fx.ni_skipped;
+    busy += fx.busy_visits;
+    fx.router_skipped = 0;
+    fx.ni_skipped = 0;
+    fx.busy_visits = 0;
   }
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!skip_router_[i]) routers_[i]->receive(t);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!skip_ni_[i]) nis_[i]->receive(t);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!skip_router_[i]) routers_[i]->execute(t);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!skip_ni_[i]) nis_[i]->execute(t);
-  }
+  // Phase discipline (same as the serial stepper, with barriers between
+  // phases): all routers receive, all NIs receive, all routers execute, all
+  // NIs execute. Within a shard task the nodes run in ascending order,
+  // routers before NIs — so a shard never races its own NI/router pair on
+  // their shared inj/ej lanes, and the staged-effect emission order equals
+  // the serial order. Whether a phase runs pooled or inline depends only on
+  // the (deterministic) busy count, never on timing.
+  const bool pooled = busy >= kMinBusyVisitsForPool;
+
+  for_each_shard(pooled, [&](std::size_t s) {
+    for (NodeId node = shards_[s].lo; node < shards_[s].hi; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (!skip_router_[i]) routers_[i]->receive(t);
+    }
+    for (NodeId node = shards_[s].lo; node < shards_[s].hi; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (!skip_ni_[i]) nis_[i]->receive(t);
+    }
+  });
+  merge_effects(t);
+
+  for_each_shard(pooled, [&](std::size_t s) {
+    for (NodeId node = shards_[s].lo; node < shards_[s].hi; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (!skip_router_[i]) routers_[i]->execute(t);
+    }
+    for (NodeId node = shards_[s].lo; node < shards_[s].hi; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (!skip_ni_[i]) nis_[i]->execute(t);
+    }
+  });
+  merge_effects(t);
+
   ++now_;
 }
 

@@ -4,7 +4,12 @@
 // Update discipline: within one `step()` every router and NI first *receives*
 // (popping only signals that matured on the delay-line channels), then every
 // router and NI *executes* (pushing signals that mature next cycle). The
-// visible state of a cycle is therefore independent of iteration order.
+// visible state of a cycle is therefore independent of iteration order —
+// which is what licenses running each phase data-parallel across contiguous
+// node shards (`set_sim_threads`). All cross-shard mutations are staged in
+// per-shard StepEffects buffers and merged after the phase barrier in
+// canonical node order, so results are bit-identical for any thread count
+// (see DESIGN.md, "Parallel stepping & deterministic merge").
 #pragma once
 
 #include <cstdint>
@@ -12,8 +17,10 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "fault/injector.h"
 #include "fault/varius.h"
@@ -21,6 +28,7 @@
 #include "noc/ni.h"
 #include "noc/noc_config.h"
 #include "noc/router.h"
+#include "noc/step_effects.h"
 #include "noc/topology.h"
 #include "power/orion_lite.h"
 #include "telemetry/telemetry.h"
@@ -75,10 +83,22 @@ class Network {
   const NocConfig& config() const noexcept { return cfg_; }
   const MeshTopology& topology() const noexcept { return topo_; }
 
-  Router& router(NodeId n) { return *routers_.at(static_cast<std::size_t>(n)); }
-  const Router& router(NodeId n) const { return *routers_.at(static_cast<std::size_t>(n)); }
-  NetworkInterface& ni(NodeId n) { return *nis_.at(static_cast<std::size_t>(n)); }
-  const NetworkInterface& ni(NodeId n) const { return *nis_.at(static_cast<std::size_t>(n)); }
+  Router& router(NodeId n) {
+    RLFTNOC_CHECK(valid_node(n), "router(%d): out of range", n);
+    return *routers_[static_cast<std::size_t>(n)];
+  }
+  const Router& router(NodeId n) const {
+    RLFTNOC_CHECK(valid_node(n), "router(%d): out of range", n);
+    return *routers_[static_cast<std::size_t>(n)];
+  }
+  NetworkInterface& ni(NodeId n) {
+    RLFTNOC_CHECK(valid_node(n), "ni(%d): out of range", n);
+    return *nis_[static_cast<std::size_t>(n)];
+  }
+  const NetworkInterface& ni(NodeId n) const {
+    RLFTNOC_CHECK(valid_node(n), "ni(%d): out of range", n);
+    return *nis_[static_cast<std::size_t>(n)];
+  }
 
   PowerModel& power() noexcept { return power_; }
   const PowerModel& power() const noexcept { return power_; }
@@ -94,11 +114,13 @@ class Network {
   ChannelPair* in_channel(NodeId node, Port p);
   /// NI -> router injection channel of `node`.
   ChannelPair& inj_channel(NodeId node) {
-    return *inj_.at(static_cast<std::size_t>(node));
+    RLFTNOC_CHECK(valid_node(node), "inj_channel(%d): out of range", node);
+    return *inj_[static_cast<std::size_t>(node)];
   }
   /// Router -> NI ejection channel of `node`.
   ChannelPair& ej_channel(NodeId node) {
-    return *ej_.at(static_cast<std::size_t>(node));
+    RLFTNOC_CHECK(valid_node(node), "ej_channel(%d): out of range", node);
+    return *ej_[static_cast<std::size_t>(node)];
   }
 
   /// Sets the error probabilities of the link leaving `node` through `p`.
@@ -107,7 +129,11 @@ class Network {
 
   /// Applies transient faults to a flit entering the wire at (`node`, `p`).
   /// No-op on Local links (NI wiring is short and assumed robust).
-  void corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed);
+  /// `stage` is the caller's shard-local trace sink (routers transmitting
+  /// inside a parallel phase); null falls back to the global tracer, which
+  /// is only safe from serial context.
+  void corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed,
+                       TraceStage* stage = nullptr);
 
   /// Records a power event at `node`'s router.
   void record_power(NodeId node, PowerEvent e, std::uint64_t n = 1) {
@@ -132,9 +158,13 @@ class Network {
 
   /// Optional event tracer (telemetry). Null when tracing is off; every
   /// instrumentation site goes through RLFTNOC_TRACE, which null-checks (and
-  /// compiles away entirely under RLFTNOC_TELEMETRY_DISABLED).
+  /// compiles away entirely under RLFTNOC_TELEMETRY_DISABLED). Routers and
+  /// NIs trace through per-shard staging sinks instead, re-bound here.
   EventTracer* tracer() const noexcept { return tracer_; }
-  void set_tracer(EventTracer* t) noexcept { tracer_ = t; }
+  void set_tracer(EventTracer* t) noexcept {
+    tracer_ = t;
+    bind_effect_sinks();
+  }
 
   /// Credits a delivered packet's end-to-end latency to every router on its
   /// X-Y path (the paper's per-router "E2E_Latency(i)" reward term).
@@ -143,7 +173,32 @@ class Network {
   /// Window accumulator of latencies credited to `node` (reset each control
   /// time-step by the fault-tolerant controller).
   StatAccumulator& router_latency_window(NodeId node) {
-    return latency_window_.at(static_cast<std::size_t>(node));
+    RLFTNOC_CHECK(valid_node(node), "router_latency_window(%d): out of range",
+                  node);
+    return latency_window_[static_cast<std::size_t>(node)];
+  }
+
+  /// Configures deterministic intra-run parallelism for step(): the mesh is
+  /// partitioned into min(threads, nodes) contiguous shards and each phase
+  /// runs data-parallel across them, with cross-shard effects staged and
+  /// merged in canonical node order — results are bit-identical for any
+  /// value. `threads` <= 1 steps serially on the calling thread (still
+  /// through the same staged path); 0 means one thread per hardware thread.
+  /// Composes with campaign-level `jobs`: total worker threads is the
+  /// product, so budget jobs x sim_threads against the machine.
+  void set_sim_threads(unsigned threads);
+  unsigned sim_threads() const noexcept { return sim_threads_; }
+  /// Shards the mesh is currently partitioned into (1 when serial).
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Parallel stepping diagnostics: cycles stepped through the pooled
+  /// (multi-threaded) path vs inline, and total staged effects merged.
+  /// Deterministic — staging happens identically on both paths.
+  std::uint64_t pooled_phase_dispatches() const noexcept {
+    return pooled_phase_dispatches_;
+  }
+  std::uint64_t staged_effects_merged() const noexcept {
+    return staged_effects_merged_;
   }
 
  private:
@@ -166,8 +221,34 @@ class Network {
     return static_cast<std::size_t>(node) * kNumPorts + port_index(p);
   }
 
+  bool valid_node(NodeId n) const noexcept {
+    return n >= 0 && static_cast<std::size_t>(n) < routers_.size();
+  }
+
   bool router_has_work(NodeId node) const;
   bool ni_has_work(NodeId node) const;
+
+  /// Contiguous node range [lo, hi) owned by one shard.
+  struct Shard {
+    NodeId lo = 0;
+    NodeId hi = 0;
+  };
+
+  /// (Re)partitions the mesh into `shards` contiguous node ranges and binds
+  /// every router/NI to its shard's StepEffects + trace stage.
+  void build_shards(std::size_t shards);
+  /// Re-binds the per-node trace sinks (after set_tracer / build_shards).
+  void bind_effect_sinks();
+
+  /// Runs f(shard_index) for every shard — pooled when `pooled`, else
+  /// inline in ascending shard order. The choice cannot affect results:
+  /// both orders produce the same per-shard staging buffers.
+  template <typename F>
+  void for_each_shard(bool pooled, F&& f);
+
+  /// Applies every shard's staged effects in canonical order (shard-major =
+  /// ascending node order, matching the serial stepper). See step().
+  void merge_effects(Cycle now);
 
   NocConfig cfg_;
   MeshTopology topo_;
@@ -200,6 +281,14 @@ class Network {
   std::vector<std::uint8_t> skip_ni_;
   std::uint64_t router_steps_skipped_ = 0;
   std::uint64_t ni_steps_skipped_ = 0;
+
+  // -- parallel stepping (see step() and DESIGN.md) --
+  unsigned sim_threads_ = 1;
+  std::vector<Shard> shards_;        ///< contiguous, ascending, cover [0, n)
+  std::vector<StepEffects> fx_;      ///< one staging buffer per shard
+  std::unique_ptr<PhasePool> pool_;  ///< null when sim_threads_ <= 1
+  std::uint64_t pooled_phase_dispatches_ = 0;
+  std::uint64_t staged_effects_merged_ = 0;
 
   Rng payload_rng_;
 };

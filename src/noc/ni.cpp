@@ -83,7 +83,11 @@ void NetworkInterface::receive(Cycle now) {
 }
 
 void NetworkInterface::finalize_packet(Cycle now, PacketId id, const Assembly& a) {
-  NetworkMetrics& m = net_->metrics();
+  // Runs inside the parallel receive phase: every global-sink mutation —
+  // NetworkMetrics counters, the FP latency accumulators, path-latency
+  // credits to routers outside this shard, and the e2e response (whose
+  // global tie-break seq must be assigned in canonical order) — is staged
+  // into the shard buffer and merged after the phase barrier.
   const int hops = net_->topology().distance(id_, a.src);
   const Cycle response_at =
       now + static_cast<Cycle>(cfg_->e2e_ack_fixed_cycles +
@@ -94,24 +98,25 @@ void NetworkInterface::finalize_packet(Cycle now, PacketId id, const Assembly& a
 
   if (!a.crc_failed) {
     ++counters_.packets_delivered;
-    ++m.packets_delivered;
-    m.flits_delivered += a.expected;
-    m.packet_latency.add(static_cast<double>(now - a.packet_inject_cycle));
-    m.latency_hist.add(static_cast<double>(now - a.packet_inject_cycle));
-    m.last_delivery_cycle = now;
+    ++fx_->packets_delivered;
+    fx_->flits_delivered += a.expected;
+    fx_->latency_samples.push_back(
+        static_cast<double>(now - a.packet_inject_cycle));
     // Credit the path with the *per-hop* latency: dividing by path length
     // removes the path-length mix from the reward's variance while keeping
     // the congestion / retransmission signal intact.
-    net_->add_path_latency(
+    fx_->path_credits.push_back(StepEffects::StagedPathCredit{
         a.src, id_,
-        static_cast<double>(now - a.packet_inject_cycle) / (hops + 1));
-    net_->schedule_e2e_response(response_at, a.src, id, /*ok=*/true);
+        static_cast<double>(now - a.packet_inject_cycle) / (hops + 1)});
+    fx_->e2e.push_back(
+        StepEffects::StagedE2e{response_at, a.src, id, /*ok=*/true});
   } else {
     ++counters_.packets_crc_failed;
-    ++m.crc_packet_failures;
-    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kCrcPacketFail, now, id_, -1,
+    ++fx_->crc_packet_failures;
+    RLFTNOC_TRACE(trace_, TraceEventKind::kCrcPacketFail, now, id_, -1,
                   static_cast<std::int32_t>(a.expected));
-    net_->schedule_e2e_response(response_at, a.src, id, /*ok=*/false);
+    fx_->e2e.push_back(
+        StepEffects::StagedE2e{response_at, a.src, id, /*ok=*/false});
   }
 }
 
@@ -171,7 +176,7 @@ void NetworkInterface::start_next_packet(Cycle /*now*/) {
 
   if (fresh) {
     ++counters_.packets_injected;
-    ++net_->metrics().packets_injected;
+    ++fx_->packets_injected;  // staged: runs inside the parallel execute phase
     retained_[pkt.id] = pkt;  // keep the pristine copy until the e2e ACK
   }
   send_vc_ = best;

@@ -20,6 +20,7 @@
 #include "common/types.h"
 #include "noc/flit.h"
 #include "noc/noc_config.h"
+#include "noc/step_effects.h"
 
 namespace rlftnoc {
 
@@ -63,8 +64,19 @@ class NetworkInterface {
   void execute(Cycle now);
 
   /// Called by the Network when an end-to-end ACK (`ok`) or retransmission
-  /// request (`!ok`) for a packet we sourced arrives back.
+  /// request (`!ok`) for a packet we sourced arrives back. Runs in the
+  /// serial e2e drain (never inside a parallel phase), so it keeps the
+  /// direct global metric/trace sinks.
   void deliver_e2e_response(Cycle now, PacketId id, bool ok);
+
+  /// Binds this NI's shard-local staging buffer and trace sink (null trace
+  /// = tracing off); see Router::set_effect_sinks. receive/execute stage
+  /// all global-metric mutations, latency samples, path credits and e2e
+  /// scheduling through these.
+  void set_effect_sinks(StepEffects* fx, TraceStage* trace) noexcept {
+    fx_ = fx;
+    trace_ = trace;
+  }
 
   /// True when this NI holds no in-flight state (drain detection).
   bool idle() const noexcept {
@@ -107,6 +119,8 @@ class NetworkInterface {
   NodeId id_;
   const NocConfig* cfg_;
   Network* net_;
+  StepEffects* fx_ = nullptr;   ///< shard staging buffer (never null in step)
+  TraceStage* trace_ = nullptr; ///< shard trace sink; null = tracing off
 
   RingBuffer<Packet> queue_;     ///< fresh packets
   RingBuffer<Packet> reinject_;  ///< end-to-end retransmissions (priority)

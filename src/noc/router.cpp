@@ -94,7 +94,7 @@ void Router::handle_incoming_flit(Cycle now, Port in_port, Flit flit) {
     // Out of order behind a rejected flit: go-back-N — NACK so the sender
     // replays it after the gap is filled. No decode needed.
     ++counters_.nacks_sent[pi];
-    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kNackSent, now, id_,
+    RLFTNOC_TRACE(trace_, TraceEventKind::kNackSent, now, id_,
                   static_cast<std::int8_t>(pi), /*out-of-order*/ 0);
     send_link_response(now, in_port, fid, flit.vc, /*nack=*/true);
     return;
@@ -106,7 +106,7 @@ void Router::handle_incoming_flit(Cycle now, Port in_port, Flit flit) {
     // Reject: NACK upstream and wait for the resend (or the mode-2 dup).
     ++counters_.ecc_uncorrectable;
     ++counters_.nacks_sent[pi];
-    RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kNackSent, now, id_,
+    RLFTNOC_TRACE(trace_, TraceEventKind::kNackSent, now, id_,
                   static_cast<std::int8_t>(pi), /*uncorrectable*/ 1);
     send_link_response(now, in_port, fid, flit.vc, /*nack=*/true);
     return;
@@ -133,12 +133,16 @@ void Router::accept_flit(Port in_port, Flit&& flit) {
   vc.fifo.push_back(std::move(flit));
 }
 
-void Router::send_link_response(Cycle now, Port in_port, FlitId id, VcId vc, bool nack) {
+void Router::send_link_response(Cycle /*now*/, Port in_port, FlitId id, VcId vc,
+                                bool nack) {
   ChannelPair* ch = net_->in_channel(id_, in_port);
   // ECC traffic only arrives on mesh ports, which always have a back channel.
   RLFTNOC_CHECK(ch != nullptr, "router %d: link response through port %s",
                 id_, port_name(in_port));
-  ch->acks.push(now, AckMsg{id, vc, nack});
+  // The upstream router pops this very ack lane in the same receive phase,
+  // so the push is staged and applied after the barrier. Same-cycle pushes
+  // mature at now+1 regardless, so the deferral is invisible.
+  fx_->acks.push_back(StepEffects::StagedAck{&ch->acks, AckMsg{id, vc, nack}});
   net_->record_power(id_, PowerEvent::kAckFlit);
 }
 
@@ -194,8 +198,8 @@ void Router::stage_link_resend(Cycle now) {
       Flit copy = r->clean;
       copy.hop_retransmission = true;
       ++counters_.hop_retransmissions;
-      ++net_->metrics().retx_flits_hop;
-      RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kHopRetx, now, id_,
+      ++fx_->retx_flits_hop;
+      RLFTNOC_TRACE(trace_, TraceEventKind::kHopRetx, now, id_,
                     static_cast<std::int8_t>(pi),
                     static_cast<std::int32_t>(copy.seq));
       net_->record_power(id_, PowerEvent::kRetransmission);
@@ -214,8 +218,8 @@ void Router::stage_link_resend(Cycle now) {
       Flit copy = r->clean;
       copy.hop_retransmission = true;
       ++counters_.preretx_duplicates;
-      ++net_->metrics().dup_flits;
-      RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kPreRetxDup, now, id_,
+      ++fx_->dup_flits;
+      RLFTNOC_TRACE(trace_, TraceEventKind::kPreRetxDup, now, id_,
                     static_cast<std::int8_t>(pi),
                     static_cast<std::int32_t>(copy.seq));
       transmit(now, p, std::move(copy), /*is_copy=*/true);
@@ -390,7 +394,7 @@ void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
   }
 
   const FlitId fid = flit.id();
-  if (mesh) net_->corrupt_on_wire(id_, out_port, flit, relaxed);
+  if (mesh) net_->corrupt_on_wire(id_, out_port, flit, relaxed, trace_);
   ch->flits.push_delayed(now, std::move(flit), wire_extra);
   net_->record_power(id_, PowerEvent::kLinkTraversal);
   ++counters_.flits_out[pi];

@@ -31,6 +31,7 @@
 #include "noc/flit.h"
 #include "noc/noc_config.h"
 #include "noc/retention.h"
+#include "noc/step_effects.h"
 
 namespace rlftnoc {
 
@@ -68,6 +69,16 @@ class Router {
 
   /// Phase B: run SA -> VA -> RC and place outgoing flits on the wires.
   void execute(Cycle now);
+
+  /// Binds this router's shard-local staging buffer and trace sink (null
+  /// trace = tracing off). Called by the Network whenever the shard
+  /// partition or the tracer changes; receive/execute route every
+  /// cross-shard mutation (ACK pushes, shared metric counters, trace
+  /// events) through these instead of the global sinks.
+  void set_effect_sinks(StepEffects* fx, TraceStage* trace) noexcept {
+    fx_ = fx;
+    trace_ = trace;
+  }
 
   /// Number of occupied input VCs (RL state feature 1).
   int occupied_input_vcs() const noexcept;
@@ -158,6 +169,8 @@ class Router {
   NodeId id_;
   const NocConfig* cfg_;
   Network* net_;
+  StepEffects* fx_ = nullptr;   ///< shard staging buffer (never null in step)
+  TraceStage* trace_ = nullptr; ///< shard trace sink; null = tracing off
   OpMode mode_ = OpMode::kMode0;
 
   std::array<std::vector<InputVc>, kNumPorts> input_;

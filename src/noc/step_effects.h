@@ -1,0 +1,118 @@
+// Per-shard staging buffers for the phase-parallel network stepper.
+//
+// Network::step partitions the mesh into contiguous node shards and runs the
+// receive and execute phases data-parallel across them. Everything a node
+// touches that is *not* owned by its own shard-local slice of the network —
+// ACK pushes onto a neighbour's channel, global NetworkMetrics counters,
+// floating-point latency accumulators, e2e response scheduling, per-path
+// latency credits, and trace events — is captured here instead of applied
+// in place, then merged after the phase barrier in canonical shard order
+// (= ascending node order, the exact order the serial stepper used).
+//
+// Merge-order invariant: shards are contiguous ascending node ranges and a
+// shard task processes its nodes in ascending order, so concatenating the
+// per-shard buffers in shard order reproduces, per effect kind, the serial
+// stepper's global emission order for *any* shard count. That makes the
+// floating-point accumulation order, the `e2e_seq_` tie-break stream, the
+// trace stream and every counter bit-identical between `sim_threads=1` and
+// `sim_threads=N` (see DESIGN.md, "Parallel stepping & deterministic
+// merge").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/channel.h"
+#include "telemetry/telemetry.h"
+
+namespace rlftnoc {
+
+/// Cross-shard side effects of one shard's receive or execute phase.
+/// Cleared after every merge; vectors keep their capacity, so after the
+/// first few cycles staging allocates nothing.
+struct alignas(64) StepEffects {
+  /// Link-layer ACK/NACK responses. In the serial stepper the receiver
+  /// pushes these straight onto the upstream router's outgoing ack lane —
+  /// a lane that upstream router pops in the *same* receive phase, which is
+  /// exactly the cross-shard mutation staging exists to defer. Pushes made
+  /// during a cycle mature at now+1, so applying them after the barrier
+  /// (with the same cycle stamp) is observationally identical.
+  struct StagedAck {
+    DelayLine<AckMsg>* lane;
+    AckMsg msg;
+  };
+
+  /// Deferred Network::schedule_e2e_response — the global `e2e_seq_`
+  /// tie-break counter is assigned at merge time, in canonical order.
+  struct StagedE2e {
+    Cycle at;
+    NodeId src;
+    PacketId id;
+    bool ok;
+  };
+
+  /// Deferred Network::add_path_latency — walks routers outside the shard.
+  struct StagedPathCredit {
+    NodeId src;
+    NodeId dst;
+    double latency;
+  };
+
+  std::vector<StagedAck> acks;
+  std::vector<StagedE2e> e2e;
+  std::vector<StagedPathCredit> path_credits;
+  /// End-to-end latency samples in delivery order; replayed through the
+  /// global StatAccumulator + Histogram so FP accumulation order matches
+  /// the serial stepper exactly.
+  std::vector<double> latency_samples;
+
+  // NetworkMetrics counter deltas (names mirror the NetworkMetrics fields).
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t retx_flits_hop = 0;
+  std::uint64_t dup_flits = 0;
+  std::uint64_t crc_packet_failures = 0;
+
+  // Idle-skip accounting for the flags phase.
+  std::uint64_t router_skipped = 0;
+  std::uint64_t ni_skipped = 0;
+  /// Router+NI visits this shard will actually perform this cycle (busy
+  /// nodes); summed at the flags merge to pick inline vs pooled execution.
+  std::uint64_t busy_visits = 0;
+
+  /// Trace events staged by routers / NIs of this shard. Two streams
+  /// because the serial stepper runs *all* routers before *all* NIs within
+  /// a phase: the merge drains every shard's router stream first, then
+  /// every shard's NI stream, reproducing the serial global trace order.
+  TraceStage router_trace;
+  TraceStage ni_trace;
+
+  /// True when nothing is staged (auditor invariant between steps).
+  bool empty() const noexcept {
+    return acks.empty() && e2e.empty() && path_credits.empty() &&
+           latency_samples.empty() && packets_injected == 0 &&
+           packets_delivered == 0 && flits_delivered == 0 &&
+           retx_flits_hop == 0 && dup_flits == 0 &&
+           crc_packet_failures == 0 && router_trace.empty() &&
+           ni_trace.empty();
+  }
+
+  /// Drops all staged state (keeps capacity). Trace stages are drained —
+  /// not cleared — by the merge; this clears the rest.
+  void clear_posts() noexcept {
+    acks.clear();
+    e2e.clear();
+    path_credits.clear();
+    latency_samples.clear();
+    packets_injected = 0;
+    packets_delivered = 0;
+    flits_delivered = 0;
+    retx_flits_hop = 0;
+    dup_flits = 0;
+    crc_packet_failures = 0;
+  }
+};
+
+}  // namespace rlftnoc

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <vector>
 
 #include "common/types.h"
 #include "noc/noc_config.h"
@@ -12,8 +13,10 @@ namespace rlftnoc {
 /// Coordinate <-> linear-id mapping for a W x H mesh (row-major, x fastest).
 class MeshTopology {
  public:
-  MeshTopology(int width, int height) noexcept : width_(width), height_(height) {}
-  explicit MeshTopology(const NocConfig& cfg) noexcept
+  MeshTopology(int width, int height) : width_(width), height_(height) {
+    build_next_hop_lut();
+  }
+  explicit MeshTopology(const NocConfig& cfg)
       : MeshTopology(cfg.mesh_width, cfg.mesh_height) {}
 
   int width() const noexcept { return width_; }
@@ -43,14 +46,14 @@ class MeshTopology {
 
   /// X-Y dimension-ordered routing: the output port a flit at `cur` headed
   /// for `dst` must take (kLocal when cur == dst). Deadlock-free on a mesh.
+  /// One flat-table load: route computation, path-latency credit walks and
+  /// the adaptive routing fallbacks all hit this per flit per hop, so the
+  /// coordinate arithmetic is precomputed into `next_hop_` (1 byte per
+  /// (cur, dst) pair — 1 MiB for a 32x32 mesh).
   Port xy_route(NodeId cur, NodeId dst) const noexcept {
-    const Coord c = coord(cur);
-    const Coord d = coord(dst);
-    if (c.x < d.x) return Port::kEast;
-    if (c.x > d.x) return Port::kWest;
-    if (c.y < d.y) return Port::kNorth;
-    if (c.y > d.y) return Port::kSouth;
-    return Port::kLocal;
+    return next_hop_[static_cast<std::size_t>(cur) *
+                         static_cast<std::size_t>(num_nodes()) +
+                     static_cast<std::size_t>(dst)];
   }
 
   /// Manhattan hop distance.
@@ -61,8 +64,26 @@ class MeshTopology {
   }
 
  private:
+  void build_next_hop_lut() {
+    const auto n = static_cast<std::size_t>(num_nodes());
+    next_hop_.resize(n * n);
+    for (NodeId cur = 0; cur < static_cast<NodeId>(n); ++cur) {
+      const Coord c = coord(cur);
+      Port* row = next_hop_.data() + static_cast<std::size_t>(cur) * n;
+      for (NodeId dst = 0; dst < static_cast<NodeId>(n); ++dst) {
+        const Coord d = coord(dst);
+        row[dst] = c.x < d.x   ? Port::kEast
+                   : c.x > d.x ? Port::kWest
+                   : c.y < d.y ? Port::kNorth
+                   : c.y > d.y ? Port::kSouth
+                               : Port::kLocal;
+      }
+    }
+  }
+
   int width_;
   int height_;
+  std::vector<Port> next_hop_;  ///< [cur * num_nodes + dst] -> output port
 };
 
 }  // namespace rlftnoc

@@ -18,6 +18,8 @@ SimOptions sim_options_from_config(const Config& cfg) {
   opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   opt.jobs = static_cast<unsigned>(
       cfg.get_int("jobs", static_cast<std::int64_t>(opt.jobs)));
+  opt.sim_threads = static_cast<unsigned>(
+      cfg.get_int("sim_threads", static_cast<std::int64_t>(opt.sim_threads)));
   opt.audit = cfg.get_bool("audit", opt.audit);
   opt.audit_interval = static_cast<Cycle>(
       cfg.get_int("audit_interval", static_cast<std::int64_t>(opt.audit_interval)));

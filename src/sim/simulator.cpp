@@ -36,6 +36,7 @@ Simulator::Simulator(SimOptions opt, std::unique_ptr<ControlPolicy> policy)
     : opt_(std::move(opt)) {
   opt_.noc.validate();
   net_ = std::make_unique<Network>(opt_.noc, opt_.seed, opt_.varius, opt_.power);
+  net_->set_sim_threads(opt_.sim_threads);
   // Telemetry must attach before the controller: its constructor already
   // runs a control step, and we want those initial mode decisions traced.
   if (opt_.telemetry.enabled) {
@@ -146,6 +147,9 @@ void Simulator::export_telemetry(const std::string& workload_name) {
   opt_str("error_scale", std::to_string(opt_.error_scale));
   opt_str("ctrl.step_cycles", std::to_string(opt_.controller.step_cycles));
   opt_str("audit", opt_.audit ? "1" : "0");
+  // Like `jobs`, `sim_threads` is deliberately absent: exports must stay
+  // byte-identical across thread counts, and execution resources are not
+  // part of the run's reproducibility contract.
   opt_str("metrics_interval",
           std::to_string(telemetry_->options().metrics_interval));
   opt_str("telemetry.series_rows",

@@ -50,6 +50,15 @@ struct SimOptions {
   /// because every (benchmark, policy) job derives its own seed.
   unsigned jobs = 1;
 
+  /// Threads used *inside* one run by the phase-parallel network stepper
+  /// (Network::set_sim_threads): 1 = serial (default), 0 = one per hardware
+  /// thread. Results are bit-identical for any value — cross-shard effects
+  /// are staged and merged in canonical node order. Composes with `jobs`:
+  /// a campaign spawns roughly jobs x sim_threads threads in total, so keep
+  /// the product near the core count (jobs parallelism amortizes better;
+  /// prefer raising sim_threads only for single-run latency).
+  unsigned sim_threads = 1;
+
   /// Run the NetworkAuditor (noc/audit.h) after every simulated cycle and
   /// abort the run with AuditError on the first violated invariant. Costs a
   /// full sweep of the network state per audited cycle, so this is an

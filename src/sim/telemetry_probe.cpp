@@ -66,6 +66,14 @@ void SimTelemetryProbe::register_families() {
   m_g_retx_hop_ = counter(S::kGlobal, "net.retx_flits_hop");
   m_g_dup_flits_ = counter(S::kGlobal, "net.dup_flits");
   m_g_crc_pkt_fail_ = counter(S::kGlobal, "net.crc_packet_failures");
+  // Parallel-stepper counters. Only thread-count-INVARIANT quantities may
+  // appear here: exports are byte-identical across sim_threads values, so
+  // e.g. pooled_phase_dispatches (depends on whether a pool exists) must not
+  // be exported. Skip counts and merged-effect counts are functions of the
+  // simulated traffic alone.
+  m_g_staged_fx_ = counter(S::kGlobal, "net.staged_effects_merged");
+  m_g_router_skips_ = counter(S::kGlobal, "net.router_steps_skipped");
+  m_g_ni_skips_ = counter(S::kGlobal, "net.ni_steps_skipped");
 
   h_reward_ = reg.add_histogram("rl.reward", 0.0, 5.0, 100);
   h_temperature_ = reg.add_histogram("router.temperature_c", 40.0, 120.0, 80);
@@ -122,6 +130,9 @@ void SimTelemetryProbe::sample(Cycle now) {
   reg.set(m_g_retx_hop_, static_cast<double>(m.retx_flits_hop));
   reg.set(m_g_dup_flits_, static_cast<double>(m.dup_flits));
   reg.set(m_g_crc_pkt_fail_, static_cast<double>(m.crc_packet_failures));
+  reg.set(m_g_staged_fx_, static_cast<double>(net_.staged_effects_merged()));
+  reg.set(m_g_router_skips_, static_cast<double>(net_.router_steps_skipped()));
+  reg.set(m_g_ni_skips_, static_cast<double>(net_.ni_steps_skipped()));
 
   if (const auto* rl = dynamic_cast<const RlPolicy*>(policy_)) {
     reg.set(m_rl_table_entries_,

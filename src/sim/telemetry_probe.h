@@ -81,6 +81,10 @@ class SimTelemetryProbe {
   MetricId m_g_retx_hop_;
   MetricId m_g_dup_flits_;
   MetricId m_g_crc_pkt_fail_;
+  // Parallel stepper (thread-count-invariant by construction; see probe.cpp).
+  MetricId m_g_staged_fx_;
+  MetricId m_g_router_skips_;
+  MetricId m_g_ni_skips_;
 
   // Whole-run histograms.
   HistogramId h_reward_;

@@ -295,6 +295,38 @@ class EventTracer {
   std::uint64_t dropped_ = 0;
 };
 
+/// Growable per-shard staging buffer for trace events produced inside a
+/// parallel stepping phase (see Network::step). Each shard records into its
+/// own TraceStage with the same record() signature the RLFTNOC_TRACE macro
+/// expects; after the phase barrier the stages are drained into the global
+/// EventTracer in canonical shard order. Because drain_into replays every
+/// staged event (the stage never drops), the tracer's ring content *and*
+/// its dropped count end up exactly as if the events had been recorded
+/// directly in that order — i.e. bit-identical to the serial stepper.
+class TraceStage {
+ public:
+  void record(TraceEventKind kind, Cycle cycle, NodeId node,
+              std::int8_t port = -1, std::int32_t arg = 0,
+              double value = 0.0) {
+    events_.push_back(TraceEvent{cycle, value, arg, node, kind, port});
+  }
+
+  /// Replays all staged events into `sink` (null discards them) and clears.
+  void drain_into(EventTracer* sink) {
+    if (sink != nullptr) {
+      for (const TraceEvent& e : events_)
+        sink->record(e.kind, e.cycle, e.node, e.port, e.arg, e.value);
+    }
+    events_.clear();
+  }
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
 // --------------------------------------------------------------------------
 // Telemetry facade
 // --------------------------------------------------------------------------
@@ -340,7 +372,9 @@ class Telemetry {
 // Hot-path hook macro
 // --------------------------------------------------------------------------
 
-/// Records a trace event through a nullable EventTracer* expression.
+/// Records a trace event through a nullable sink pointer expression — an
+/// EventTracer* (direct recording) or a TraceStage* (staged recording inside
+/// a parallel stepping phase; see Network::step).
 /// Compiles to nothing when telemetry is configured out of the build (the
 /// no-op template keeps the arguments "used" so -Wunused stays clean; its
 /// trivial arguments fold away entirely under optimization).
@@ -349,13 +383,13 @@ namespace telemetry_detail {
 template <typename... Ts>
 inline void trace_noop(Ts&&...) noexcept {}
 }  // namespace telemetry_detail
-#define RLFTNOC_TRACE(tracer_expr, ...) \
+#define RLFTNOC_TRACE(sink_expr, ...) \
   ::rlftnoc::telemetry_detail::trace_noop(__VA_ARGS__)
 #else
-#define RLFTNOC_TRACE(tracer_expr, ...)                        \
-  do {                                                         \
-    if (::rlftnoc::EventTracer* rlftnoc_tr_ = (tracer_expr)) \
-      rlftnoc_tr_->record(__VA_ARGS__);                        \
+#define RLFTNOC_TRACE(sink_expr, ...)           \
+  do {                                          \
+    if (auto* rlftnoc_tr_ = (sink_expr))        \
+      rlftnoc_tr_->record(__VA_ARGS__);         \
   } while (0)
 #endif
 

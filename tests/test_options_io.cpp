@@ -33,6 +33,7 @@ TEST(OptionsIo, FullOverrideSet) {
     policy = dt
     seed = 99
     jobs = 6
+    sim_threads = 4
     audit = true
     audit_interval = 32
     error_scale = 2.5
@@ -61,6 +62,7 @@ TEST(OptionsIo, FullOverrideSet) {
   EXPECT_EQ(opt.policy, PolicyKind::kDecisionTree);
   EXPECT_EQ(opt.seed, 99u);
   EXPECT_EQ(opt.jobs, 6u);
+  EXPECT_EQ(opt.sim_threads, 4u);
   EXPECT_TRUE(opt.audit);
   EXPECT_EQ(opt.audit_interval, 32u);
   EXPECT_DOUBLE_EQ(opt.error_scale, 2.5);

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Summarize (and optionally gate on) the rlftnoc perf artifacts.
 
-Inputs are the two JSON files produced by run_benches.sh:
+Inputs are the JSON files produced by run_benches.sh:
   BENCH_microperf.json  google-benchmark JSON from bench_microperf
   BENCH_campaign.json   wall-time / simulated-cycles-per-second from
                         bench_campaign (schema rlftnoc-bench-campaign-v1)
+  BENCH_scaling.json    per-(mesh, sim_threads) throughput matrix from
+                        bench_scaling (schema rlftnoc-bench-scaling-v1)
 
 Usage:
   bench_summary.py MICROPERF_JSON CAMPAIGN_JSON
@@ -15,6 +17,14 @@ Usage:
       Additionally compare against a committed baseline and exit non-zero if
       any gated micro-kernel slows down by more than the threshold, or the
       campaign cycles-per-second throughput drops by more than it.
+
+  bench_summary.py ... --scaling BENCH_SCALING [--scaling-floor 1.5]
+      Additionally summarize the intra-run scaling matrix. Always fails if
+      the bench reported a cross-thread-count result divergence. The speedup
+      gate (16x16 mesh, sim_threads=4 vs 1, machine-relative) applies only
+      when the producing machine had >= 4 hardware threads: the floor is a
+      conservative 1.5x for noisy shared CI runners, against the 2.5x the
+      stepper achieves on quiet 4-core hardware.
 
 The gate covers the kernels this repo actively optimizes; other benchmarks
 are reported but not gated (end-to-end network benches on shared CI runners
@@ -58,6 +68,61 @@ def load_campaign(path):
     if doc.get("schema") != "rlftnoc-bench-campaign-v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return doc
+
+
+def load_scaling(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rlftnoc-bench-scaling-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def print_scaling(scaling):
+    print()
+    print(
+        f"scaling (hardware threads on producing machine: "
+        f"{scaling['hardware_threads']})"
+    )
+    print(f"{'mesh':>6}  {'sim_threads':>11}  {'cycles/s':>10}  {'speedup':>7}")
+    for c in scaling["cells"]:
+        print(
+            f"{c['mesh']:>4}x{c['mesh']:<2} {c['sim_threads']:>11} "
+            f"{c['cycles_per_second']:>11.0f}  {c['speedup_vs_serial']:>6.2f}x"
+        )
+
+
+def check_scaling(scaling, floor):
+    """Returns a list of failure messages (empty = pass)."""
+    failures = []
+    if not scaling.get("results_identical", False):
+        failures.append(
+            "scaling bench reported result divergence across sim_threads "
+            "(determinism contract broken)"
+        )
+    hw = scaling.get("hardware_threads", 0)
+    if hw < 4:
+        print(
+            f"scaling speedup gate skipped: only {hw} hardware thread(s) "
+            f"on the producing machine (need >= 4)"
+        )
+        return failures
+    cell = next(
+        (
+            c
+            for c in scaling["cells"]
+            if c["mesh"] == 16 and c["sim_threads"] == 4
+        ),
+        None,
+    )
+    if cell is None:
+        failures.append("scaling results missing the 16x16 sim_threads=4 cell")
+    elif cell["speedup_vs_serial"] < floor:
+        failures.append(
+            f"16x16 sim_threads=4 speedup {cell['speedup_vs_serial']:.2f}x "
+            f"below the {floor:.2f}x floor"
+        )
+    return failures
 
 
 def print_summary(micro, campaign):
@@ -109,11 +174,26 @@ def main():
         help="baseline JSON pair to gate against",
     )
     ap.add_argument("--threshold", type=float, default=0.25)
+    ap.add_argument(
+        "--scaling",
+        metavar="BENCH_SCALING",
+        help="bench_scaling JSON to summarize and gate",
+    )
+    ap.add_argument("--scaling-floor", type=float, default=1.5)
     args = ap.parse_args()
 
     micro = load_microperf(args.microperf)
     campaign = load_campaign(args.campaign)
     print_summary(micro, campaign)
+
+    if args.scaling:
+        scaling = load_scaling(args.scaling)
+        print_scaling(scaling)
+        failures = check_scaling(scaling, args.scaling_floor)
+        if failures:
+            for msg in failures:
+                print(f"PERF REGRESSION: {msg}")
+            sys.exit(1)
 
     if args.check_against:
         base_micro = load_microperf(args.check_against[0])
