@@ -2,7 +2,9 @@
 //
 // Usage:
 //   rlftnoc_run <config-file> [--jobs N] [--sim-threads N] [--audit] [--trace]
-//               [--trace-dir D] [--metrics-interval N] [key=value ...]
+//               [--trace-dir D] [--metrics-interval N]
+//               [--kill-link NODE:P[@CYCLE]] [--kill-router NODE[@CYCLE]]
+//               [key=value ...]
 //   rlftnoc_run --dump-defaults
 //
 // Config keys (all optional; defaults reproduce the paper's setup):
@@ -21,6 +23,10 @@
 //   telemetry.dir = telemetry        (output directory; also --trace-dir D)
 //   metrics_interval = 1000          (cycles/sample; also --metrics-interval N)
 //   telemetry.series_rows / telemetry.trace_capacity   (ring sizes)
+//   hard_faults   =                  (permanent faults: "link:NODE:P[@CYCLE],
+//                                     router:NODE[@CYCLE], ..."; also the
+//                                     --kill-link / --kill-router flags.
+//                                     Needs xy|yx|adaptive routing)
 //   injection_rate= 0.06             (synthetic workloads)
 //   packets       = 50000            (synthetic workloads)
 //   budget_pct    = 100              (PARSEC workloads)
@@ -150,6 +156,9 @@ void print_result(const SimResult& r) {
   if (r.enqueue_drops > 0)
     std::printf("enqueue drops       %llu (source NI queues overflowed)\n",
                 static_cast<unsigned long long>(r.enqueue_drops));
+  if (r.unreachable_drops > 0)
+    std::printf("unreachable drops   %llu (dead or disconnected endpoints)\n",
+                static_cast<unsigned long long>(r.unreachable_drops));
   std::printf("avg e2e latency     %.2f cycles\n", r.avg_packet_latency);
   std::printf("fault retx flits    %llu (e2e %llu, link %llu)\n",
               static_cast<unsigned long long>(r.retx_flits_e2e + r.retx_flits_hop),
@@ -207,6 +216,30 @@ int main(int argc, char** argv) {
       }
       if (kv == "--audit") {
         cfg.set("audit", "true");
+        continue;
+      }
+      // --kill-link NODE:P[@CYCLE] / --kill-router NODE[@CYCLE] append to the
+      // `hard_faults` config key (same syntax, prefixed with the fault kind).
+      const auto append_fault = [&cfg](const std::string& item) {
+        const std::string prev = cfg.get_string("hard_faults", "");
+        cfg.set("hard_faults", prev.empty() ? item : prev + "," + item);
+      };
+      if (kv == "--kill-link") {
+        if (i + 1 >= argc) throw ConfigError("--kill-link needs NODE:P[@CYCLE]");
+        append_fault(std::string("link:") + argv[++i]);
+        continue;
+      }
+      if (kv.rfind("--kill-link=", 0) == 0) {
+        append_fault("link:" + kv.substr(12));
+        continue;
+      }
+      if (kv == "--kill-router") {
+        if (i + 1 >= argc) throw ConfigError("--kill-router needs NODE[@CYCLE]");
+        append_fault(std::string("router:") + argv[++i]);
+        continue;
+      }
+      if (kv.rfind("--kill-router=", 0) == 0) {
+        append_fault("router:" + kv.substr(14));
         continue;
       }
       if (kv == "--trace") {

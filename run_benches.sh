@@ -1,8 +1,8 @@
 #!/bin/sh
 # Runs every bench binary in dependency-friendly order (the campaign cache
 # is produced by the first figure bench and reused by the rest), then the
-# perf-tracking benches, which emit BENCH_microperf.json, BENCH_campaign.json
-# and BENCH_scaling.json. tools/bench_summary.py turns those into a summary
+# perf-tracking benches, which emit BENCH_microperf.json, BENCH_campaign.json,
+# BENCH_scaling.json and BENCH_faults.json. tools/bench_summary.py turns those into a summary
 # table and (with --check) a regression gate against the committed baseline.
 set -e
 cd "$(dirname "$0")"
@@ -32,6 +32,9 @@ build/bench/bench_campaign --out=BENCH_campaign.json
 echo "===== build/bench/bench_scaling ====="
 build/bench/bench_scaling --out=BENCH_scaling.json
 
+echo "===== build/bench/bench_faults ====="
+build/bench/bench_faults --out=BENCH_faults.json
+
 echo "===== perf summary ====="
 python3 tools/bench_summary.py BENCH_microperf.json BENCH_campaign.json \
-  --scaling BENCH_scaling.json
+  --scaling BENCH_scaling.json --faults BENCH_faults.json

@@ -113,11 +113,13 @@ inline const char* op_mode_name(OpMode m) noexcept {
   return "?";
 }
 
-/// Mesh routing algorithm (see noc/routing.h for the implementations).
+/// Routing algorithm (see noc/routing.h for the implementations).
 enum class RoutingAlgorithm : std::uint8_t {
   kXY = 0,        ///< dimension-ordered, X first (Table II default)
   kYX = 1,        ///< dimension-ordered, Y first
   kWestFirst = 2, ///< turn model: westward hops first, then adaptive E/N/S
+  kAdaptive = 3,  ///< fault-adaptive up*/down* (deadlock-free on any
+                  ///< connected alive subgraph; see noc/routing.h)
 };
 
 inline const char* routing_name(RoutingAlgorithm a) noexcept {
@@ -125,6 +127,21 @@ inline const char* routing_name(RoutingAlgorithm a) noexcept {
     case RoutingAlgorithm::kXY: return "xy";
     case RoutingAlgorithm::kYX: return "yx";
     case RoutingAlgorithm::kWestFirst: return "westfirst";
+    case RoutingAlgorithm::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// Network topology shape (see noc/topology.h).
+enum class TopologyKind : std::uint8_t {
+  kMesh = 0,   ///< 2D mesh, open edges (the paper's Table II substrate)
+  kTorus = 1,  ///< 2D torus: mesh plus wrap-around links in both dimensions
+};
+
+inline const char* topology_kind_name(TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
   }
   return "?";
 }

@@ -10,13 +10,21 @@ InjectionResult LinkFaultInjector::inject(BitVec128& payload, FlitEcc* ecc,
 
   // Temporal correlation: voltage droops multiply the error probability for
   // a burst of consecutive traversals.
+  // A burst scales exactly droop_len_traversals consecutive traversals,
+  // counting the one that starts it; droop_traversals_ + droop_left_ always
+  // equals total_droops_ * droop_len_traversals (asserted by the tests), so
+  // the counters stay reconcilable however bursts interleave with error
+  // events.
   const VariusParams& vp = model_->params();
   if (droop_left_ > 0) {
     --droop_left_;
+    ++droop_traversals_;
     p_flit = std::min(1.0, p_flit * vp.droop_scale);
-  } else if (vp.droop_rate > 0.0 && rng_.bernoulli(vp.droop_rate)) {
-    droop_left_ = vp.droop_len_traversals;
+  } else if (vp.droop_rate > 0.0 && vp.droop_len_traversals > 0 &&
+             rng_.bernoulli(vp.droop_rate)) {
+    droop_left_ = vp.droop_len_traversals - 1;
     ++total_droops_;
+    ++droop_traversals_;
     p_flit = std::min(1.0, p_flit * vp.droop_scale);
   }
 

@@ -48,9 +48,24 @@ class LinkFaultInjector {
   std::uint64_t total_events() const noexcept { return total_events_; }
   std::uint64_t total_flips() const noexcept { return total_flips_; }
   std::uint64_t total_droops() const noexcept { return total_droops_; }
+  /// Traversals that saw the droop-scaled error probability. Every burst
+  /// covers exactly droop_len_traversals of them, which is the bookkeeping
+  /// invariant below.
+  std::uint64_t droop_traversals() const noexcept { return droop_traversals_; }
 
   /// True while the link is inside a voltage-droop burst.
   bool in_droop() const noexcept { return droop_left_ > 0; }
+  int droop_left() const noexcept { return droop_left_; }
+
+  /// Droop bookkeeping invariant: completed bursts plus the in-progress
+  /// remainder account for every scaled traversal. Holds for any
+  /// droop_len_traversals >= 1 (with <= 0 droops never start).
+  bool droop_accounting_consistent() const noexcept {
+    const auto len =
+        static_cast<std::uint64_t>(model_->params().droop_len_traversals);
+    return droop_traversals_ + static_cast<std::uint64_t>(droop_left_) ==
+           total_droops_ * len;
+  }
 
  private:
   const VariusModel* model_;
@@ -58,6 +73,7 @@ class LinkFaultInjector {
   std::uint64_t total_events_ = 0;
   std::uint64_t total_flips_ = 0;
   std::uint64_t total_droops_ = 0;
+  std::uint64_t droop_traversals_ = 0;
   int droop_left_ = 0;
 };
 

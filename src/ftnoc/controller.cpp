@@ -120,6 +120,14 @@ void FtController::control_step() {
       snap.out_nack_rate[p] = (fin + nacks_tx) > 0.0 ? nacks_tx / (fin + nacks_tx) : 0.0;
     }
     snap.temperature_c = thermal_.temperature(r);
+    const Topology& topo = net_->topology();
+    for (const Port p : kAllPorts) {
+      if (p == Port::kLocal) continue;
+      // Dead = the wire structurally exists but was hard-faulted away.
+      snap.out_link_dead[port_index(p)] =
+          topo.neighbor(r, p) != kInvalidNode && !topo.link_alive(r, p) ? 1.0
+                                                                        : 0.0;
+    }
 
     // Exponential smoothing so the discretized state is stable enough for
     // the tabular learners (temperature is already slow; smooth the rest).
@@ -139,6 +147,7 @@ void FtController::control_step() {
         ema.out_nack_rate[p] = blend(ema.out_nack_rate[p], snap.out_nack_rate[p]);
       }
       ema.temperature_c = snap.temperature_c;
+      ema.out_link_dead = snap.out_link_dead;  // binary state, never smoothed
     }
     features_[ri] = ema;
 

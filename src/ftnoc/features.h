@@ -28,16 +28,22 @@ struct FeatureSnapshot {
   std::array<double, kNumPorts> out_nack_rate{};  ///< NACKs sent (we received flits)
   /// Feature 6: local router temperature (C).
   double temperature_c = 50.0;
+  /// Feature 7 (extension over Table I): 1.0 where the structural outgoing
+  /// link exists but has been hard-faulted dead (see Topology::link_alive).
+  /// All-zero in fault-free runs, so the learned state space is unchanged
+  /// there.
+  std::array<double, kNumPorts> out_link_dead{};
 
   /// Ground truth, NOT part of the observable feature vector: the highest
   /// per-flit error probability across this router's outgoing links. Used
   /// by the oracle policy and as the decision-tree training label source.
   double true_error_prob = 0.0;
 
-  /// Number of observable features in per-port form (1 + 5 + 5 + 5 + 5 + 1).
-  static constexpr int kNumFeaturesPerPort = 22;
+  /// Number of observable features in per-port form
+  /// (1 + 5 + 5 + 5 + 5 + 1 + 5).
+  static constexpr int kNumFeaturesPerPort = 27;
   /// Number of features in aggregated form (see below).
-  static constexpr int kNumFeaturesAggregated = 8;
+  static constexpr int kNumFeaturesAggregated = 9;
 
   /// Flattens the observable features to a continuous vector (DT input).
   ///
@@ -57,6 +63,7 @@ struct FeatureSnapshot {
       for (const double x : in_nack_rate) v.push_back(x);
       for (const double x : out_nack_rate) v.push_back(x);
       v.push_back(temperature_c);
+      for (const double x : out_link_dead) v.push_back(x);
       return v;
     }
     v.reserve(kNumFeaturesAggregated);
@@ -68,6 +75,7 @@ struct FeatureSnapshot {
     v.push_back(max(in_nack_rate));
     v.push_back(max(out_nack_rate));
     v.push_back(temperature_c);
+    v.push_back(mean(out_link_dead));  // fraction of dead outgoing links
     return v;
   }
 
@@ -88,6 +96,7 @@ struct FeatureSnapshot {
       for (const double x : in_nack_rate) s.push_back(kNackBins.bin(x));
       for (const double x : out_nack_rate) s.push_back(kNackBins.bin(x));
       s.push_back(kTempBins.bin(temperature_c));
+      for (const double x : out_link_dead) s.push_back(x > 0.5 ? 1 : 0);
       return s;
     }
     s.reserve(kNumFeaturesAggregated);
@@ -99,10 +108,16 @@ struct FeatureSnapshot {
     s.push_back(kNackBins.bin(max(in_nack_rate)));
     s.push_back(kNackBins.bin(max(out_nack_rate)));
     s.push_back(kTempBins.bin(temperature_c));
+    s.push_back(dead_count());  // 0..5 dead outgoing links, exact
     return s;
   }
 
  private:
+  int dead_count() const {
+    int n = 0;
+    for (const double x : out_link_dead) n += x > 0.5 ? 1 : 0;
+    return n;
+  }
   static double mean(const std::array<double, kNumPorts>& a) {
     double s = 0.0;
     for (const double x : a) s += x;

@@ -86,6 +86,7 @@ void NetworkAuditor::audit_flit_conservation(
   std::uint64_t link_copies = 0;    // hop resends + mode-2 duplicates
   std::uint64_t delivered = 0;      // ejected at destination NIs
   std::uint64_t dropped_by_arq = 0; // NACK-rejected + duplicate-discarded
+  std::uint64_t fault_drops = 0;    // destroyed by hard-fault teardown
   std::uint64_t alive = 0;          // channels + input VC buffers
 
   for (NodeId node = 0; node < n; ++node) {
@@ -99,6 +100,7 @@ void NetworkAuditor::audit_flit_conservation(
     dropped_by_arq += rc.dup_discards;
     for (std::size_t p = 0; p < kNumPorts; ++p)
       dropped_by_arq += rc.nacks_sent[p];
+    fault_drops += rc.fault_drops;
     alive += static_cast<std::uint64_t>(r.buffered_flits());
 
     alive += net.inj_[static_cast<std::size_t>(node)]->flits.size();
@@ -107,15 +109,19 @@ void NetworkAuditor::audit_flit_conservation(
   for (const auto& ch : net.out_ch_) {
     if (ch) alive += ch->flits.size();
   }
+  // Flits destroyed on dead wires (hard faults) are tracked network-wide.
+  fault_drops += net.wire_kill_drops();
 
   const std::uint64_t created = injected + link_copies;
-  const std::uint64_t accounted = delivered + dropped_by_arq + alive;
+  const std::uint64_t accounted =
+      delivered + dropped_by_arq + fault_drops + alive;
   if (created != accounted) {
     std::ostringstream os;
     os << "flit instances created (" << created << " = " << injected
        << " injected + " << link_copies << " link copies) != accounted ("
        << accounted << " = " << delivered << " delivered + " << dropped_by_arq
-       << " ARQ-dropped + " << alive << " in flight)";
+       << " ARQ-dropped + " << fault_drops << " fault-dropped + " << alive
+       << " in flight)";
     out.push_back(
         make_violation("flit-conservation", net.now(), kInvalidNode, os.str()));
   }

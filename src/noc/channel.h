@@ -54,6 +54,15 @@ class DelayLine {
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Discards everything in flight (hard-fault teardown of a dead link /
+  /// router). Returns the number of entries dropped so the caller can keep
+  /// conservation accounting honest.
+  std::size_t clear() noexcept {
+    const std::size_t n = entries_.size();
+    entries_.clear();
+    return n;
+  }
+
   /// Visits every queued value oldest-first (auditing / diagnostics only —
   /// the simulation itself must go through pop() to honour maturity).
   template <typename Fn>

@@ -55,6 +55,17 @@ struct Flit {
   Cycle packet_inject_cycle = kInvalidCycle;  ///< when the packet entered the source NI queue
   bool hop_retransmission = false;            ///< this copy is a link-level re-send
 
+  /// End-to-end injection generation. A hard fault that destroys part of a
+  /// packet in flight triggers a source re-injection with a higher attempt;
+  /// the destination NI uses the tag to drop stale stragglers of the old
+  /// generation instead of mixing two generations into one reassembly.
+  std::uint8_t attempt = 0;
+
+  /// Dateline VC class for torus dimension-ordered routing (0 before the
+  /// wrap link of the current dimension, 1 after). Stamped on head flits by
+  /// the RC stage; unused (always 0) on a mesh.
+  std::uint8_t vc_class = 0;
+
   /// Link sequence number, stamped per (router, output port) at first
   /// transmission. The link layer delivers in-order (go-back-N): a receiver
   /// NACKs any flit arriving ahead of the expected sequence and ACK-drops
@@ -68,6 +79,15 @@ struct Flit {
   bool is_tail() const noexcept {
     return type == FlitType::kTail || type == FlitType::kHeadTail;
   }
+};
+
+/// Identity of a flit destroyed by hard-fault teardown. The network collects
+/// these while killing links/routers and decides once per damaged packet
+/// whether to request an end-to-end retransmission or abandon the packet.
+struct LostFlit {
+  PacketId packet = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
 };
 
 /// A packet awaiting injection (or retained at the source for possible

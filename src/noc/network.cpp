@@ -1,8 +1,11 @@
 #include "noc/network.h"
 
 #include <algorithm>
+#include <array>
+#include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 
 namespace rlftnoc {
 
@@ -156,26 +159,220 @@ void Network::corrupt_on_wire(NodeId node, Port p, Flit& flit, bool relaxed,
 }
 
 void Network::add_path_latency(NodeId src, NodeId dst, double latency_cycles) {
-  // Walk the deterministic X-Y path and credit every traversed router. The
-  // port -> node-id step is inlined (row-major layout) so the walk is one
-  // LUT load plus an add per hop.
-  const NodeId w = topo_.width();
+  // Walk the active routing policy's committed path and credit every
+  // traversed router. Each hop is one LUT load plus an add; the hop bound
+  // keeps a (transiently) inconsistent post-fault LUT from hanging the walk.
   NodeId cur = src;
   latency_window_[static_cast<std::size_t>(cur)].add(latency_cycles);
-  while (cur != dst) {
-    switch (topo_.xy_route(cur, dst)) {
-      case Port::kEast: ++cur; break;
-      case Port::kWest: --cur; break;
-      case Port::kNorth: cur += w; break;
-      case Port::kSouth: cur -= w; break;
-      case Port::kLocal: return;  // unreachable: loop guard is cur != dst
-    }
+  int hops = 0;
+  const int max_hops = cfg_.num_nodes();
+  while (cur != dst && hops++ < max_hops) {
+    const std::uint8_t r = topo_.route_raw(cur, dst);
+    if (r == Topology::kUnreachable || static_cast<Port>(r) == Port::kLocal)
+      return;
+    cur = topo_.neighbor(cur, static_cast<Port>(r));
+    if (cur == kInvalidNode) return;
     latency_window_[static_cast<std::size_t>(cur)].add(latency_cycles);
   }
 }
 
 void Network::schedule_e2e_response(Cycle at, NodeId src, PacketId id, bool ok) {
   e2e_events_.push(E2eEvent{at, src, id, ok, e2e_seq_++});
+}
+
+// --------------------------------------------------------------------------
+// Hard faults (serial context — applied between steps, never inside a phase)
+// --------------------------------------------------------------------------
+
+void Network::schedule_hard_faults(const std::vector<HardFault>& faults) {
+  if (faults.empty()) return;
+  if (cfg_.routing == RoutingAlgorithm::kWestFirst)
+    throw std::invalid_argument(
+        "hard faults: westfirst routing does not support hard faults (its "
+        "turn model cannot route around dead links deadlock-free); use xy, "
+        "yx or adaptive");
+  for (const HardFault& f : faults) {
+    if (!valid_node(f.node))
+      throw std::invalid_argument("hard fault: node " +
+                                  std::to_string(f.node) + " out of range");
+    if (f.kind == HardFault::Kind::kLink) {
+      if (f.port == Port::kLocal)
+        throw std::invalid_argument(
+            "hard fault: the Local port cannot be killed (use router:NODE)");
+      if (topo_.neighbor(f.node, f.port) == kInvalidNode)
+        throw std::invalid_argument(
+            "hard fault: node " + std::to_string(f.node) + " has no " +
+            port_name(f.port) + " link");
+    }
+    pending_faults_.push_back(f);
+  }
+  // Keep the unapplied tail sorted by strike cycle (stable: ties fire in
+  // registration order).
+  std::stable_sort(
+      pending_faults_.begin() + static_cast<std::ptrdiff_t>(next_fault_),
+      pending_faults_.end(), [](const HardFault& a, const HardFault& b) {
+        return a.at_cycle < b.at_cycle;
+      });
+  apply_due_hard_faults();
+}
+
+void Network::apply_due_hard_faults() {
+  std::vector<LostFlit> lost;
+  bool any = false;
+  while (next_fault_ < pending_faults_.size() &&
+         pending_faults_[next_fault_].at_cycle <= now_) {
+    const HardFault f = pending_faults_[next_fault_++];
+    if (f.kind == HardFault::Kind::kRouter) {
+      kill_router_internal(f.node, lost);
+    } else {
+      kill_link_internal(f.node, f.port, lost);
+    }
+    ++faults_applied_;
+    any = true;
+  }
+  if (any) finish_fault_application(lost);
+}
+
+void Network::kill_link_internal(NodeId node, Port p,
+                                 std::vector<LostFlit>& lost) {
+  const NodeId nb = topo_.neighbor(node, p);
+  if (nb == kInvalidNode || !topo_.link_alive(node, p)) return;  // no-op
+  topo_.kill_link(node, p);
+  RLFTNOC_TRACE(tracer_, TraceEventKind::kLinkKilled, now_, node,
+                static_cast<std::int8_t>(port_index(p)),
+                static_cast<std::int32_t>(nb));
+
+  // 1. Destroy both wire directions first, so every later teardown step that
+  //    tries to push credits toward the dead link hits a null channel.
+  const std::array<std::pair<NodeId, Port>, 2> dirs = {
+      std::pair<NodeId, Port>{node, p}, std::pair<NodeId, Port>{nb, opposite(p)}};
+  for (const auto& [up, out] : dirs) {
+    const std::size_t idx = link_index(up, out);
+    if (ChannelPair* ch = out_ch_[idx].get()) {
+      ch->flits.for_each([&](const Flit& f) {
+        lost.push_back(LostFlit{f.packet_id, f.src, f.dst});
+      });
+      wire_kill_drops_ += ch->flits.clear();
+      ch->credits.clear();
+      ch->acks.clear();
+    }
+    out_ch_[idx].reset();
+    injectors_[idx].reset();
+    link_prob_[idx] = LinkErrorProb{};
+  }
+
+  // 2. Sender-side teardown on each alive endpoint.
+  for (const auto& [up, out] : dirs) {
+    if (topo_.router_alive(up))
+      routers_[static_cast<std::size_t>(up)]->purge_dead_output(now_, out, lost);
+  }
+
+  // 3. Receiver-side teardown, chasing worms severed mid-body downstream.
+  std::vector<Router::SeveredWorm> severed;
+  for (const auto& [up, out] : dirs) {
+    const NodeId down = topo_.neighbor(up, out);
+    if (!topo_.router_alive(down)) continue;
+    severed.clear();
+    routers_[static_cast<std::size_t>(down)]->purge_dead_input(opposite(out),
+                                                              lost, severed);
+    for (const Router::SeveredWorm& w : severed)
+      purge_worm_chain(now_, down, w, lost);
+  }
+}
+
+void Network::purge_worm_chain(Cycle now, NodeId from, Router::SeveredWorm worm,
+                               std::vector<LostFlit>& lost) {
+  NodeId cur = from;
+  Port out = worm.out_port;
+  VcId v = worm.out_vc;
+  int steps = 0;
+  const int max_steps = cfg_.num_nodes() + 1;  // paths never revisit a node
+  while (steps++ < max_steps) {
+    const NodeId next = topo_.neighbor(cur, out);
+    if (next == kInvalidNode || !topo_.router_alive(next)) return;
+    const Router::ChainNext cn =
+        routers_[static_cast<std::size_t>(next)]->purge_worm_of_packet(
+            now, opposite(out), v, worm.packet, lost);
+    if (!cn.walk) return;
+    cur = next;
+    out = cn.out_port;
+    v = cn.out_vc;
+  }
+}
+
+void Network::kill_router_internal(NodeId node, std::vector<LostFlit>& lost) {
+  if (!topo_.router_alive(node)) return;  // already dead
+  // Sever every live link first (with full neighbour-side teardown), then
+  // mark the router dead and wipe its own state.
+  for (const Port p : kAllPorts) {
+    if (p == Port::kLocal) continue;
+    if (topo_.link_alive(node, p)) kill_link_internal(node, p, lost);
+  }
+  topo_.kill_router(node);
+  RLFTNOC_TRACE(tracer_, TraceEventKind::kRouterKilled, now_, node, -1, 0);
+
+  const auto i = static_cast<std::size_t>(node);
+  routers_[i]->purge_for_router_kill(lost);
+
+  // The NI wiring dies with the router.
+  const auto collect = [&](ChannelPair& ch) {
+    ch.flits.for_each([&](const Flit& f) {
+      lost.push_back(LostFlit{f.packet_id, f.src, f.dst});
+    });
+    wire_kill_drops_ += ch.flits.clear();
+    ch.credits.clear();
+    ch.acks.clear();
+  };
+  collect(*inj_[i]);
+  collect(*ej_[i]);
+
+  std::vector<std::pair<PacketId, NodeId>> orphans;
+  nis_[i]->purge_for_router_kill(orphans);
+  for (const auto& [id, dst] : orphans) {
+    if (valid_node(dst) && topo_.router_alive(dst))
+      nis_[static_cast<std::size_t>(dst)]->abandon_assembly(id);
+  }
+}
+
+void Network::finish_fault_application(std::vector<LostFlit>& lost) {
+  topo_.rebuild_routes();
+
+  // Packet-level repair: decide once per damaged packet. A source that still
+  // holds the pristine copy and can reach a live destination retransmits
+  // end-to-end; otherwise both endpoints give the packet up.
+  std::sort(lost.begin(), lost.end(),
+            [](const LostFlit& a, const LostFlit& b) { return a.packet < b.packet; });
+  const LostFlit* prev = nullptr;
+  for (const LostFlit& lf : lost) {
+    if (prev != nullptr && prev->packet == lf.packet) continue;
+    prev = &lf;
+    const bool src_ok = valid_node(lf.src) && topo_.router_alive(lf.src);
+    const bool dst_ok = valid_node(lf.dst) && topo_.router_alive(lf.dst);
+    if (src_ok && nis_[static_cast<std::size_t>(lf.src)]->has_retained(lf.packet)) {
+      if (dst_ok && topo_.reachable(lf.src, lf.dst)) {
+        schedule_e2e_response(
+            now_ + static_cast<Cycle>(cfg_.e2e_ack_fixed_cycles), lf.src,
+            lf.packet, /*ok=*/false);
+      } else {
+        nis_[static_cast<std::size_t>(lf.src)]->abandon_retained(lf.packet);
+        if (dst_ok) nis_[static_cast<std::size_t>(lf.dst)]->abandon_assembly(lf.packet);
+      }
+    } else if (dst_ok) {
+      nis_[static_cast<std::size_t>(lf.dst)]->abandon_assembly(lf.packet);
+    }
+  }
+
+  // Every live source gives up on packets whose destination died or became
+  // unreachable, including queued ones that never left.
+  std::vector<std::pair<PacketId, NodeId>> orphans;
+  for (NodeId nid = 0; nid < static_cast<NodeId>(nis_.size()); ++nid) {
+    if (!topo_.router_alive(nid)) continue;
+    nis_[static_cast<std::size_t>(nid)]->purge_unreachable(topo_, orphans);
+  }
+  for (const auto& [id, dst] : orphans) {
+    if (valid_node(dst) && topo_.router_alive(dst))
+      nis_[static_cast<std::size_t>(dst)]->abandon_assembly(id);
+  }
 }
 
 bool Network::router_has_work(NodeId node) const {
@@ -191,8 +388,10 @@ bool Network::router_has_work(NodeId node) const {
     if (p == Port::kLocal) continue;
     const NodeId nb = topo_.neighbor(node, p);
     if (nb != kInvalidNode) {
-      const ChannelPair& in = *out_ch_[link_index(nb, opposite(p))];
-      if (!in.flits.empty()) return true;
+      // Structural neighbours can lose their channel to a hard fault.
+      if (const auto& in = out_ch_[link_index(nb, opposite(p))]) {
+        if (!in->flits.empty()) return true;
+      }
     }
     if (const auto& out = out_ch_[link_index(node, p)]) {
       if (!out->credits.empty() || !out->acks.empty()) return true;
@@ -269,6 +468,13 @@ void Network::merge_effects(Cycle now) {
 }
 
 void Network::step() {
+  // Hard faults strike at the top of their cycle, in the serial window
+  // before any phase runs — identical for every sim_threads value.
+  if (next_fault_ < pending_faults_.size() &&
+      pending_faults_[next_fault_].at_cycle <= now_) {
+    apply_due_hard_faults();
+  }
+
   const Cycle t = now_;
   // End-to-end responses drain serially before the phases: delivery may
   // refill an NI (reinject queue), which the skip flags must observe. This

@@ -22,6 +22,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
+#include "fault/hard_faults.h"
 #include "fault/injector.h"
 #include "fault/varius.h"
 #include "noc/channel.h"
@@ -147,6 +148,28 @@ class Network {
   /// True when no packet, flit, credit, ACK or timer is in flight anywhere.
   bool drained() const;
 
+  /// Registers hard faults (dead links / routers), validating nodes and
+  /// ports against the structural topology. Faults with at_cycle <= now are
+  /// applied immediately; later ones fire at the top of their step().
+  /// Throws std::invalid_argument for out-of-range nodes, Local/edge-port
+  /// links, or a westfirst configuration (its turn model cannot route
+  /// around faults deadlock-free — see noc/routing.h).
+  void schedule_hard_faults(const std::vector<HardFault>& faults);
+
+  /// True when any hard fault was scheduled (applied or still pending).
+  bool has_hard_faults() const noexcept { return !pending_faults_.empty(); }
+  std::size_t hard_faults_applied() const noexcept { return faults_applied_; }
+  /// Flits destroyed on dead wires / dead-router NI lanes (the conservation
+  /// audit counts these alongside the routers' fault_drops).
+  std::uint64_t wire_kill_drops() const noexcept { return wire_kill_drops_; }
+
+  /// Transient-fault injector of the link leaving `node` through `p`;
+  /// nullptr for absent or killed links. Tests inspect droop bookkeeping.
+  const LinkFaultInjector* link_injector(NodeId node, Port p) const {
+    if (p == Port::kLocal) return nullptr;
+    return injectors_[link_index(node, p)].get();
+  }
+
   /// Idle-skip diagnostics: how many per-node phase visits step() elided
   /// because the node was provably quiescent (see step() for the argument).
   std::uint64_t router_steps_skipped() const noexcept { return router_steps_skipped_; }
@@ -250,6 +273,17 @@ class Network {
   /// ascending node order, matching the serial stepper). See step().
   void merge_effects(Cycle now);
 
+  // -- hard-fault application (serial, between steps; see DESIGN.md) --
+  void apply_due_hard_faults();
+  void kill_link_internal(NodeId node, Port p, std::vector<LostFlit>& lost);
+  void kill_router_internal(NodeId node, std::vector<LostFlit>& lost);
+  /// Chases a severed worm's downstream allocation chain starting at the
+  /// router that reported it, purging one input VC per hop.
+  void purge_worm_chain(Cycle now, NodeId from, Router::SeveredWorm worm,
+                        std::vector<LostFlit>& lost);
+  /// Rebuilds routes and runs packet-level repair over the lost-flit list.
+  void finish_fault_application(std::vector<LostFlit>& lost);
+
   NocConfig cfg_;
   MeshTopology topo_;
   Cycle now_ = 0;
@@ -270,6 +304,13 @@ class Network {
 
   std::priority_queue<E2eEvent, std::vector<E2eEvent>, std::greater<>> e2e_events_;
   std::uint64_t e2e_seq_ = 0;
+
+  /// Scheduled hard faults, sorted by at_cycle from next_fault_ on;
+  /// [0, next_fault_) have been applied.
+  std::vector<HardFault> pending_faults_;
+  std::size_t next_fault_ = 0;
+  std::size_t faults_applied_ = 0;
+  std::uint64_t wire_kill_drops_ = 0;
 
   std::vector<StatAccumulator> latency_window_;
 

@@ -4,6 +4,7 @@
 #include "coding/crc.h"
 #include "common/rng.h"
 #include "noc/network.h"
+#include "noc/topology.h"
 
 namespace rlftnoc {
 
@@ -64,15 +65,35 @@ void NetworkInterface::receive(Cycle now) {
     net_->record_power(id_, PowerEvent::kCrcDecode);
     ej.credits.push(now, Credit{f->vc});
 
-    const bool crc_ok = default_crc32().compute(f->payload) == f->crc;
-    if (!crc_ok) ++counters_.crc_flit_failures;
+    // Generation filtering (hard-fault recovery): a straggler of an already
+    // finalized generation, or of an older generation than the one being
+    // assembled, must not corrupt the current reassembly. Fault-free runs
+    // never take these branches (attempt stays 0 until a re-injection).
+    if (const auto fin = finalized_attempt_.find(f->packet_id);
+        fin != finalized_attempt_.end() && f->attempt <= fin->second) {
+      ++counters_.stale_flit_drops;
+      continue;
+    }
 
     Assembly& a = assembling_[f->packet_id];
-    if (a.expected == 0) {
+    if (a.expected != 0 && f->attempt < a.attempt) {
+      // Old-generation straggler arriving behind the newer re-injection; its
+      // ejection was already counted above, so dropping it is conservation-
+      // neutral.
+      ++counters_.stale_flit_drops;
+      continue;
+    }
+    if (a.expected == 0 || f->attempt > a.attempt) {
+      // Fresh assembly, or a newer generation overtaking a partial old one.
+      a = Assembly{};
       a.src = f->src;
       a.expected = f->packet_len;
       a.packet_inject_cycle = f->packet_inject_cycle;
+      a.attempt = f->attempt;
     }
+
+    const bool crc_ok = default_crc32().compute(f->payload) == f->crc;
+    if (!crc_ok) ++counters_.crc_flit_failures;
     ++a.received;
     a.crc_failed = a.crc_failed || !crc_ok;
     if (a.received >= a.expected) {
@@ -83,6 +104,10 @@ void NetworkInterface::receive(Cycle now) {
 }
 
 void NetworkInterface::finalize_packet(Cycle now, PacketId id, const Assembly& a) {
+  // Remember the finalized generation for re-injected packets so stragglers
+  // of this generation cannot re-open a ghost assembly later. Bounded by the
+  // number of packets that ever needed an end-to-end retransmission.
+  if (a.attempt > 0) finalized_attempt_[id] = a.attempt;
   // Runs inside the parallel receive phase: every global-sink mutation —
   // NetworkMetrics counters, the FP latency accumulators, path-latency
   // credits to routers outside this shard, and the e2e response (whose
@@ -135,7 +160,68 @@ void NetworkInterface::deliver_e2e_response(Cycle now, PacketId id, bool ok) {
   RLFTNOC_TRACE(net_->tracer(), TraceEventKind::kE2eRetx, now, id_, -1,
                 static_cast<std::int32_t>(it->second.flits.size()));
   net_->record_power(id_, PowerEvent::kRetransmission);
+  // Bump the injection generation on the retained master copy so the next
+  // transmission (and any after it) is distinguishable from stragglers of
+  // the failed one. Sideband only: fault-free results are unchanged.
+  for (Flit& f : it->second.flits) ++f.attempt;
   reinject_.push_back(it->second);  // pristine copy, original inject_cycle kept
+}
+
+// --------------------------------------------------------------------------
+// Hard-fault teardown (serial context — called by the Network between steps)
+// --------------------------------------------------------------------------
+
+void NetworkInterface::purge_unreachable(
+    const Topology& topo, std::vector<std::pair<PacketId, NodeId>>& orphans) {
+  const auto lost_dst = [&](NodeId dst) {
+    return !topo.router_alive(dst) || !topo.reachable(id_, dst);
+  };
+  queue_.remove_if([&](const Packet& p) {
+    if (!lost_dst(p.dst)) return false;
+    ++counters_.packets_abandoned;
+    return true;
+  });
+  // Reinject copies share identity with their retained master, which is
+  // counted below — dropping the copy is not a second abandonment.
+  reinject_.remove_if([&](const Packet& p) { return lost_dst(p.dst); });
+  for (auto it = retained_.begin(); it != retained_.end();) {
+    if (lost_dst(it->second.dst)) {
+      orphans.emplace_back(it->first, it->second.dst);
+      ++counters_.packets_abandoned;
+      it = retained_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // An in-progress `sending_` worm is deliberately left alone: its flits are
+  // already interleaved with the router pipeline, and the RC unreachable
+  // rule drops the complete worm at the first hop. With the retained entry
+  // gone there is no path back to a retransmission.
+}
+
+void NetworkInterface::purge_for_router_kill(
+    std::vector<std::pair<PacketId, NodeId>>& orphans) {
+  counters_.packets_abandoned +=
+      static_cast<std::uint64_t>(queue_.size() + retained_.size());
+  for (const auto& [id, pkt] : retained_) orphans.emplace_back(id, pkt.dst);
+  queue_.clear();
+  reinject_.clear();
+  retained_.clear();
+  assembling_.clear();
+  finalized_attempt_.clear();
+  sending_.reset();
+  sending_is_reinject_ = false;
+  next_flit_ = 0;
+  send_vc_ = kInvalidVc;
+  for (auto& vc : local_vcs_) {
+    vc.busy = false;
+    vc.credits = cfg_->vc_depth;
+  }
+}
+
+void NetworkInterface::abandon_retained(PacketId id) {
+  if (retained_.erase(id) > 0) ++counters_.packets_abandoned;
+  reinject_.remove_if([&](const Packet& p) { return p.id == id; });
 }
 
 void NetworkInterface::start_next_packet(Cycle /*now*/) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ring_buffer.h"
@@ -25,6 +26,7 @@
 namespace rlftnoc {
 
 class Network;
+class Topology;
 
 /// Creates a packet with `len` flits of RNG-filled payload and valid CRCs.
 class Rng;
@@ -42,6 +44,8 @@ struct NiCounters {
   std::uint64_t packets_crc_failed = 0;    ///< finalized with >=1 bad flit
   std::uint64_t crc_flit_failures = 0;
   std::uint64_t queue_rejects = 0;         ///< enqueue refused, queue full
+  std::uint64_t stale_flit_drops = 0;      ///< old-generation stragglers dropped
+  std::uint64_t packets_abandoned = 0;     ///< given up after hard faults
 };
 
 class NetworkInterface {
@@ -94,6 +98,27 @@ class NetworkInterface {
 
   const NiCounters& counters() const noexcept { return counters_; }
 
+  // -- hard-fault teardown (serial context, called by the Network) --
+
+  /// Drops queued / reinject / retained packets whose destination died or
+  /// became unreachable. Retained packets that had flits in flight are
+  /// reported as `orphans` (packet, dst) so the network can erase any
+  /// partial reassembly at the destination.
+  void purge_unreachable(const Topology& topo,
+                         std::vector<std::pair<PacketId, NodeId>>& orphans);
+
+  /// Wipes all NI state when this node's router is killed.
+  void purge_for_router_kill(std::vector<std::pair<PacketId, NodeId>>& orphans);
+
+  bool has_retained(PacketId id) const noexcept {
+    return retained_.count(id) != 0;
+  }
+  /// Gives up on a retained packet (destination lost): no further end-to-end
+  /// retransmissions will be attempted.
+  void abandon_retained(PacketId id);
+  /// Erases a partial reassembly for a packet that can never complete.
+  void abandon_assembly(PacketId id) { assembling_.erase(id); }
+
  private:
   struct Assembly {
     NodeId src = kInvalidNode;
@@ -101,6 +126,7 @@ class NetworkInterface {
     std::uint32_t received = 0;
     bool crc_failed = false;
     Cycle packet_inject_cycle = kInvalidCycle;
+    std::uint8_t attempt = 0;  ///< injection generation being assembled
   };
 
   /// Local-port credit mirror of the router's Local input VCs.
@@ -131,6 +157,10 @@ class NetworkInterface {
 
   std::unordered_map<PacketId, Packet> retained_;
   std::unordered_map<PacketId, Assembly> assembling_;
+  /// Highest generation already finalized, recorded only for packets that
+  /// were ever re-injected (attempt > 0), so stragglers of a finalized
+  /// generation cannot re-open a ghost assembly after hard-fault repair.
+  std::unordered_map<PacketId, std::uint8_t> finalized_attempt_;
   std::vector<LocalVc> local_vcs_;
 
   NiCounters counters_;

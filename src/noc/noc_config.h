@@ -15,6 +15,8 @@ struct NocConfig {
   int mesh_width = 8;        ///< 8x8 2D mesh
   /// Route computation algorithm (Table II: X-Y).
   RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  /// Network shape: the paper's open mesh, or a torus with wrap links.
+  TopologyKind topology = TopologyKind::kMesh;
   int mesh_height = 8;
   int vcs_per_port = 4;      ///< 4 VCs per port
   int vc_depth = 4;          ///< flit slots per VC buffer
@@ -30,10 +32,34 @@ struct NocConfig {
 
   int num_nodes() const noexcept { return mesh_width * mesh_height; }
 
+  /// True when dateline VC classes are in force: torus dimension-ordered
+  /// routing splits each port's VCs into two halves so the cyclic channel
+  /// dependency around each ring is broken (see noc/routing.h).
+  bool dateline_vcs() const noexcept {
+    return topology == TopologyKind::kTorus &&
+           (routing == RoutingAlgorithm::kXY ||
+            routing == RoutingAlgorithm::kYX);
+  }
+
   /// Validates invariants; throws std::invalid_argument on nonsense.
   void validate() const {
+    if (mesh_width <= 0 || mesh_height <= 0)
+      throw std::invalid_argument(
+          "NocConfig: noc.mesh_width/noc.mesh_height must be positive (got " +
+          std::to_string(mesh_width) + "x" + std::to_string(mesh_height) + ")");
     if (mesh_width < 2 || mesh_height < 2)
       throw std::invalid_argument("NocConfig: mesh must be at least 2x2");
+    if (topology == TopologyKind::kTorus &&
+        routing == RoutingAlgorithm::kWestFirst)
+      throw std::invalid_argument(
+          "NocConfig: westfirst routing is mesh-only (its turn model is not "
+          "deadlock-free across torus wrap links)");
+    if (topology == TopologyKind::kTorus &&
+        (routing == RoutingAlgorithm::kXY || routing == RoutingAlgorithm::kYX) &&
+        vcs_per_port < 2)
+      throw std::invalid_argument(
+          "NocConfig: torus dimension-ordered routing needs vcs_per_port >= 2 "
+          "(dateline VC classes)");
     if (vcs_per_port < 1 || vcs_per_port > 16)
       throw std::invalid_argument("NocConfig: vcs_per_port out of range");
     if (vc_depth < 1) throw std::invalid_argument("NocConfig: vc_depth < 1");
@@ -71,8 +97,19 @@ struct NocConfig {
       c.routing = RoutingAlgorithm::kYX;
     } else if (routing == "westfirst") {
       c.routing = RoutingAlgorithm::kWestFirst;
+    } else if (routing == "adaptive") {
+      c.routing = RoutingAlgorithm::kAdaptive;
     } else {
-      throw std::invalid_argument("noc.routing must be xy|yx|westfirst");
+      throw std::invalid_argument(
+          "noc.routing must be xy|yx|westfirst|adaptive");
+    }
+    const std::string topology = cfg.get_string("noc.topology", "mesh");
+    if (topology == "mesh") {
+      c.topology = TopologyKind::kMesh;
+    } else if (topology == "torus") {
+      c.topology = TopologyKind::kTorus;
+    } else {
+      throw std::invalid_argument("noc.topology must be mesh|torus");
     }
     c.validate();
     return c;

@@ -12,10 +12,15 @@ namespace rlftnoc {
 namespace {
 constexpr std::array<Port, 4> kMeshPorts = {Port::kNorth, Port::kSouth, Port::kEast,
                                             Port::kWest};
+
+// Mesh dimension a port travels along (dateline classes are per-dimension).
+int port_dim(Port p) noexcept {
+  return (p == Port::kNorth || p == Port::kSouth) ? 1 : 0;
 }
+}  // namespace
 
 Router::Router(NodeId id, const NocConfig* cfg, Network* net)
-    : id_(id), cfg_(cfg), net_(net) {
+    : id_(id), cfg_(cfg), net_(net), dateline_(cfg->dateline_vcs()) {
   for (std::size_t p = 0; p < kNumPorts; ++p) {
     input_[p].resize(static_cast<std::size_t>(cfg_->vcs_per_port));
     auto& op = output_[p];
@@ -177,7 +182,7 @@ void Router::execute(Cycle now) {
   stage_link_resend(now);
   stage_switch_allocation(now);
   stage_vc_allocation();
-  stage_route_computation();
+  stage_route_computation(now);
 }
 
 void Router::stage_link_resend(Cycle now) {
@@ -297,8 +302,20 @@ void Router::stage_vc_allocation() {
       if (iv.state != InputVc::State::kWaitVc) continue;
       OutputPort& op = output_[port_index(iv.out_port)];
       const int vcs = cfg_->vcs_per_port;
-      for (int k = 0; k < vcs; ++k) {
-        const int cand = (op.va_rr + k) % vcs;
+      // Dateline VC classes (torus DOR): class 0 worms may only claim the
+      // lower half of the output VCs, class 1 the upper half, so the cyclic
+      // channel dependency around each ring is cut at the wrap link. Local
+      // ejection is exempt — it never feeds back into the ring.
+      int lo = 0;
+      int n = vcs;
+      if (dateline_ && iv.out_port != Port::kLocal) {
+        const int half = vcs / 2;
+        if (iv.fifo.empty() || !iv.fifo.front().is_head()) continue;
+        lo = iv.fifo.front().vc_class == 0 ? 0 : half;
+        n = iv.fifo.front().vc_class == 0 ? half : vcs - half;
+      }
+      for (int k = 0; k < n; ++k) {
+        const int cand = lo + (op.va_rr + k) % n;
         OutputVc& ovc = op.vcs[static_cast<std::size_t>(cand)];
         if (ovc.allocated) continue;
         ovc.allocated = true;
@@ -311,9 +328,19 @@ void Router::stage_vc_allocation() {
   }
 }
 
-void Router::stage_route_computation() {
+void Router::stage_route_computation(Cycle now) {
   for (std::size_t in_pi = 0; in_pi < kNumPorts; ++in_pi) {
-    for (auto& iv : input_[in_pi]) {
+    const auto in_port = static_cast<Port>(in_pi);
+    for (VcId v = 0; v < cfg_->vcs_per_port; ++v) {
+      InputVc& iv = input_[in_pi][static_cast<std::size_t>(v)];
+      if (iv.state == InputVc::State::kIdle && !iv.fifo.empty() &&
+          !iv.fifo.front().is_head()) {
+        // Orphaned worm fragment: its head was destroyed by a hard fault
+        // before this remainder arrived (never fires fault-free — an idle
+        // VC's next flit is always a head). Drop up to the next head.
+        drop_leading_worm(now, in_port, v, iv, /*return_credits=*/true,
+                          /*lost=*/nullptr);
+      }
       if (iv.state == InputVc::State::kIdle && !iv.fifo.empty() &&
           iv.fifo.front().is_head()) {
         iv.state = InputVc::State::kRouting;
@@ -322,6 +349,15 @@ void Router::stage_route_computation() {
         std::array<Port, 2> candidates{};
         const int n = route_candidates(cfg_->routing, net_->topology(), id_,
                                        iv.fifo.front().dst, candidates);
+        if (n == 0) {
+          // Destination unreachable after hard faults: drop the worm here;
+          // the source NI's end-to-end machinery (or the network's fault
+          // repair sweep) handles the packet-level consequence.
+          drop_leading_worm(now, in_port, v, iv, /*return_credits=*/true,
+                            /*lost=*/nullptr);
+          iv.state = InputVc::State::kIdle;
+          continue;
+        }
         iv.out_port = candidates[0];
         if (n > 1) {
           // Adaptive selection: prefer the candidate with more downstream
@@ -336,6 +372,17 @@ void Router::stage_route_computation() {
               iv.out_port = candidates[static_cast<std::size_t>(k)];
             }
           }
+        }
+        if (dateline_ && iv.out_port != Port::kLocal) {
+          // Dateline stamp: reset the class when the worm turns into a new
+          // dimension (or injects), raise it when crossing the wrap link.
+          Flit& head = iv.fifo.front();
+          std::uint8_t cls = (in_port == Port::kLocal ||
+                              port_dim(in_port) != port_dim(iv.out_port))
+                                 ? 0
+                                 : head.vc_class;
+          if (net_->topology().wrap_link(id_, iv.out_port)) cls = 1;
+          head.vc_class = cls;
         }
         iv.state = InputVc::State::kWaitVc;
       }
@@ -404,6 +451,175 @@ void Router::transmit(Cycle now, Port out_port, Flit flit, bool is_copy) {
     // Flit pre-retransmission: schedule the proactive duplicate one idle
     // cycle after the original (Fig. 3(c)).
     op.dup_queue.push_back(OutputPort::PendingDup{now + 2, fid});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Hard-fault teardown (serial context — called by the Network between steps)
+// --------------------------------------------------------------------------
+
+void Router::drop_leading_worm(Cycle now, Port in, VcId v, InputVc& iv,
+                               bool return_credits,
+                               std::vector<LostFlit>* lost) {
+  bool first = true;
+  while (!iv.fifo.empty()) {
+    const Flit& f = iv.fifo.front();
+    if (!first && f.is_head()) break;  // next worm starts here
+    first = false;
+    if (lost != nullptr) lost->push_back(LostFlit{f.packet_id, f.src, f.dst});
+    ++counters_.fault_drops;
+    if (return_credits) {
+      if (in == Port::kLocal) {
+        net_->inj_channel(id_).credits.push(now, Credit{v});
+      } else if (ChannelPair* ch = net_->in_channel(id_, in)) {
+        ch->credits.push(now, Credit{v});
+      }
+    }
+    iv.fifo.pop_front();
+  }
+}
+
+void Router::purge_dead_output(Cycle now, Port p, std::vector<LostFlit>& lost) {
+  const std::size_t pi = port_index(p);
+  OutputPort& op = output_[pi];
+
+  // Retention copies are bookkeeping for flits whose transmitted instance
+  // was already counted at the wire; losing the copy loses the packet's only
+  // recovery path, so record the identity (but no instance drop).
+  op.retention.for_each([&](FlitId, const ArqRetention& r) {
+    lost.push_back(LostFlit{r.clean.packet_id, r.clean.src, r.clean.dst});
+  });
+  op.retention.reset(static_cast<std::size_t>(cfg_->retention_depth));
+  op.retx_queue.clear();
+  op.dup_queue.clear();
+  op.busy_until = 0;
+
+  // Worms mid-flight toward the dead port: drop the local fragment and free
+  // the output VC. The head flits already on the dead wire are collected by
+  // the network's wire sweep.
+  for (std::size_t in_pi = 0; in_pi < kNumPorts; ++in_pi) {
+    for (VcId v = 0; v < cfg_->vcs_per_port; ++v) {
+      InputVc& iv = input_[in_pi][static_cast<std::size_t>(v)];
+      const bool granted = iv.state == InputVc::State::kWaitVc ||
+                           iv.state == InputVc::State::kActive;
+      if (!granted || iv.out_port != p) continue;
+      drop_leading_worm(now, static_cast<Port>(in_pi), v, iv,
+                        /*return_credits=*/true, &lost);
+      iv.state = InputVc::State::kIdle;
+      iv.out_vc = kInvalidVc;
+    }
+  }
+  // All worms bound for p are gone; restore the port's credit/allocation
+  // state to its reset value (the auditor skips dead channels, but stale
+  // claims must not linger).
+  for (auto& vc : op.vcs) {
+    vc.allocated = false;
+    vc.credits = cfg_->vc_depth;
+  }
+}
+
+void Router::purge_dead_input(Port p, std::vector<LostFlit>& lost,
+                              std::vector<SeveredWorm>& severed) {
+  const std::size_t pi = port_index(p);
+  for (VcId v = 0; v < cfg_->vcs_per_port; ++v) {
+    InputVc& iv = input_[pi][static_cast<std::size_t>(v)];
+    if (iv.state == InputVc::State::kActive) {
+      // Head already forwarded downstream: report the severed continuation
+      // so the network can chase and purge it. An active VC with an empty
+      // FIFO gives no packet identity — the stranded remainder is cleaned
+      // up lazily by the orphan rule in RC (see DESIGN.md).
+      if (!iv.fifo.empty() && !iv.fifo.front().is_head() &&
+          iv.out_port != Port::kLocal) {
+        severed.push_back(
+            SeveredWorm{iv.fifo.front().packet_id, iv.out_port, iv.out_vc});
+      }
+      output_[port_index(iv.out_port)]
+          .vcs[static_cast<std::size_t>(iv.out_vc)]
+          .allocated = false;
+    }
+    // Drop everything buffered — the reverse credit lane died with the link,
+    // so no credits go back.
+    while (!iv.fifo.empty()) {
+      const Flit& f = iv.fifo.front();
+      lost.push_back(LostFlit{f.packet_id, f.src, f.dst});
+      ++counters_.fault_drops;
+      iv.fifo.pop_front();
+    }
+    iv.state = InputVc::State::kIdle;
+    iv.out_vc = kInvalidVc;
+  }
+  input_arq_[pi] = InputArq{};
+}
+
+Router::ChainNext Router::purge_worm_of_packet(Cycle now, Port in, VcId v,
+                                               PacketId packet,
+                                               std::vector<LostFlit>& lost) {
+  ChainNext next;
+  InputVc& iv = ivc(in, v);
+  const bool granted = iv.state == InputVc::State::kWaitVc ||
+                       iv.state == InputVc::State::kActive;
+  if (granted && !iv.fifo.empty() && iv.fifo.front().packet_id == packet) {
+    next.walk = iv.state == InputVc::State::kActive &&
+                iv.out_port != Port::kLocal && !iv.fifo.front().is_head();
+    next.out_port = iv.out_port;
+    next.out_vc = iv.out_vc;
+    if (iv.state == InputVc::State::kActive) {
+      output_[port_index(iv.out_port)]
+          .vcs[static_cast<std::size_t>(iv.out_vc)]
+          .allocated = false;
+    }
+    drop_leading_worm(now, in, v, iv, /*return_credits=*/true, &lost);
+    iv.state = InputVc::State::kIdle;
+    iv.out_vc = kInvalidVc;
+    return next;
+  }
+  // The fragment is queued behind another worm (or never granted), so its
+  // head is among the queued flits — a by-identity sweep removes exactly the
+  // severed worm and the walk ends here.
+  const std::size_t n = iv.fifo.remove_if([&](const Flit& f) {
+    if (f.packet_id != packet) return false;
+    lost.push_back(LostFlit{f.packet_id, f.src, f.dst});
+    return true;
+  });
+  counters_.fault_drops += static_cast<std::uint64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in == Port::kLocal) {
+      net_->inj_channel(id_).credits.push(now, Credit{v});
+    } else if (ChannelPair* ch = net_->in_channel(id_, in)) {
+      ch->credits.push(now, Credit{v});
+    }
+  }
+  return next;
+}
+
+void Router::purge_for_router_kill(std::vector<LostFlit>& lost) {
+  for (std::size_t pi = 0; pi < kNumPorts; ++pi) {
+    for (auto& iv : input_[pi]) {
+      while (!iv.fifo.empty()) {
+        const Flit& f = iv.fifo.front();
+        lost.push_back(LostFlit{f.packet_id, f.src, f.dst});
+        ++counters_.fault_drops;
+        iv.fifo.pop_front();
+      }
+      iv.state = InputVc::State::kIdle;
+      iv.out_vc = kInvalidVc;
+    }
+    OutputPort& op = output_[pi];
+    op.retention.for_each([&](FlitId, const ArqRetention& r) {
+      lost.push_back(LostFlit{r.clean.packet_id, r.clean.src, r.clean.dst});
+    });
+    op.retention.reset(static_cast<std::size_t>(cfg_->retention_depth));
+    op.retx_queue.clear();
+    op.dup_queue.clear();
+    op.busy_until = 0;
+    const int depth = (static_cast<Port>(pi) == Port::kLocal)
+                          ? cfg_->local_vc_depth
+                          : cfg_->vc_depth;
+    for (auto& vc : op.vcs) {
+      vc.allocated = false;
+      vc.credits = depth;
+    }
+    input_arq_[pi] = InputArq{};
   }
 }
 

@@ -50,6 +50,7 @@ struct RouterCounters {
   std::uint64_t dup_discards = 0;         ///< duplicates dropped at our inputs
   std::uint64_t ecc_corrections = 0;      ///< single-bit fixes by our decoders
   std::uint64_t ecc_uncorrectable = 0;    ///< double-bit detections at inputs
+  std::uint64_t fault_drops = 0;          ///< flits destroyed by hard faults
 };
 
 /// One mesh router.
@@ -97,6 +98,43 @@ class Router {
   bool quiescent() const noexcept;
 
   const RouterCounters& counters() const noexcept { return counters_; }
+
+  // -- hard-fault teardown (serial context, called by the Network) --
+
+  /// A worm severed mid-body at a dead input port: its upstream fragment is
+  /// gone, but downstream routers still hold (or are forwarding) the head.
+  /// The network chases the allocation chain and purges the remainder so no
+  /// channel stays allocated to a worm that can never finish.
+  struct SeveredWorm {
+    PacketId packet = 0;
+    Port out_port = Port::kLocal;
+    VcId out_vc = kInvalidVc;
+  };
+
+  /// Continuation for one step of the severed-worm chain walk.
+  struct ChainNext {
+    bool walk = false;  ///< keep following the chain downstream
+    Port out_port = Port::kLocal;
+    VcId out_vc = kInvalidVc;
+  };
+
+  /// Tears down sender-side state for a dead output link: retention copies,
+  /// queued resends/duplicates, and any input worm mid-flight toward it.
+  void purge_dead_output(Cycle now, Port p, std::vector<LostFlit>& lost);
+
+  /// Tears down receiver-side state for a dead input link: buffered flits
+  /// (no credits back — the reverse lane is gone too), ARQ sync, and reports
+  /// worms that were severed mid-body so the network can chase them.
+  void purge_dead_input(Port p, std::vector<LostFlit>& lost,
+                        std::vector<SeveredWorm>& severed);
+
+  /// Wipes every buffer and protocol structure of a killed router.
+  void purge_for_router_kill(std::vector<LostFlit>& lost);
+
+  /// Removes the leading worm of `packet` from input VC (in, v) if present,
+  /// returning buffer credits upstream. Part of the severed-worm chain walk.
+  ChainNext purge_worm_of_packet(Cycle now, Port in, VcId v, PacketId packet,
+                                 std::vector<LostFlit>& lost);
 
  private:
   /// Per-input-VC wormhole state machine.
@@ -146,7 +184,15 @@ class Router {
   void stage_link_resend(Cycle now);  ///< NACK retx + mode-2 duplicates
   void stage_switch_allocation(Cycle now);
   void stage_vc_allocation();
-  void stage_route_computation();
+  void stage_route_computation(Cycle now);
+
+  /// Drops the flit at the front of (in, v) plus everything behind it up to
+  /// (not including) the next head flit — i.e. one worm, or the headless
+  /// remainder of one. Counts counters_.fault_drops; when `return_credits`,
+  /// pushes a buffer credit upstream per dropped flit (skipped when the
+  /// reverse lane is dead); records identities into `lost` when non-null.
+  void drop_leading_worm(Cycle now, Port in, VcId v, InputVc& iv,
+                         bool return_credits, std::vector<LostFlit>* lost);
 
   /// Places `flit` on the wire through `out_port`, applying the current
   /// mode's ECC encode / retention / stall / duplicate policy.
@@ -172,6 +218,7 @@ class Router {
   StepEffects* fx_ = nullptr;   ///< shard staging buffer (never null in step)
   TraceStage* trace_ = nullptr; ///< shard trace sink; null = tracing off
   OpMode mode_ = OpMode::kMode0;
+  bool dateline_ = false;  ///< torus DOR: stamp/partition VCs by dateline class
 
   std::array<std::vector<InputVc>, kNumPorts> input_;
   std::array<OutputPort, kNumPorts> output_;

@@ -1,5 +1,9 @@
 #include "sim/options_io.h"
 
+#include <stdexcept>
+
+#include "fault/hard_faults.h"
+
 namespace rlftnoc {
 
 PolicyKind policy_from_string(const std::string& s) {
@@ -24,6 +28,19 @@ SimOptions sim_options_from_config(const Config& cfg) {
   opt.audit_interval = static_cast<Cycle>(
       cfg.get_int("audit_interval", static_cast<std::int64_t>(opt.audit_interval)));
   opt.error_scale = cfg.get_double("error_scale", opt.error_scale);
+  if (cfg.contains("hard_faults")) {
+    try {
+      opt.hard_faults = parse_hard_faults(cfg.get_string("hard_faults"));
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError(std::string("hard_faults: ") + e.what());
+    }
+    if (!opt.hard_faults.empty() &&
+        opt.noc.routing == RoutingAlgorithm::kWestFirst) {
+      throw ConfigError(
+          "hard_faults requires xy, yx or adaptive routing (westfirst has no "
+          "fault-adaptive fallback)");
+    }
+  }
   opt.pretrain_cycles = static_cast<Cycle>(
       cfg.get_int("pretrain_cycles", static_cast<std::int64_t>(opt.pretrain_cycles)));
   opt.warmup_cycles = static_cast<Cycle>(

@@ -13,7 +13,8 @@ namespace {
 constexpr const char* kHeader =
     "benchmark\tpolicy\texec_cycles\ttotal_cycles\tdrained\tavg_latency\t"
     "packets_injected\t"
-    "packets_delivered\tflits_delivered\tenqueue_drops\tretx_total\tretx_e2e\t"
+    "packets_delivered\tflits_delivered\tenqueue_drops\tunreachable_drops\t"
+    "retx_total\tretx_e2e\t"
     "retx_hop\tdup_flits\tcrc_failures\tdyn_pj\tleak_pj\ttotal_pj\tefficiency\t"
     "dyn_power_w\ttotal_power_w\tavg_temp\tmax_temp\tmode0\tmode1\tmode2\t"
     "mode3\trl_entries\tdt_accuracy";
@@ -53,7 +54,7 @@ void write_results(std::ostream& out, const CampaignResults& results) {
           << (r.drained ? 1 : 0) << '\t'
           << r.avg_packet_latency << '\t' << r.packets_injected << '\t'
           << r.packets_delivered << '\t' << r.flits_delivered << '\t'
-          << r.enqueue_drops << '\t'
+          << r.enqueue_drops << '\t' << r.unreachable_drops << '\t'
           << r.retransmitted_flits << '\t' << r.retx_flits_e2e << '\t'
           << r.retx_flits_hop << '\t' << r.dup_flits << '\t'
           << r.crc_packet_failures << '\t' << r.dynamic_energy_pj << '\t'
@@ -101,7 +102,7 @@ CampaignResults read_results(std::istream& in) {
     if (!(ls >> r.execution_cycles >> r.total_cycles >> drained >>
           r.avg_packet_latency >>
           r.packets_injected >> r.packets_delivered >> r.flits_delivered >>
-          r.enqueue_drops >>
+          r.enqueue_drops >> r.unreachable_drops >>
           r.retransmitted_flits >> r.retx_flits_e2e >> r.retx_flits_hop >>
           r.dup_flits >> r.crc_packet_failures >> r.dynamic_energy_pj >>
           r.leakage_energy_pj >> r.total_energy_pj >> r.energy_efficiency >>

@@ -56,13 +56,26 @@ Simulator::Simulator(SimOptions opt, std::unique_ptr<ControlPolicy> policy)
     if (opt_.audit_interval == 0) opt_.audit_interval = 1;
     auditor_ = std::make_unique<NetworkAuditor>();
   }
+  // Register hard faults last so their validation (routing policy, node
+  // ranges) sees the final configuration; at_cycle 0 faults apply here,
+  // before any traffic.
+  net_->schedule_hard_faults(opt_.hard_faults);
 }
 
 Simulator::~Simulator() = default;
 
 void Simulator::enqueue_batch(std::vector<Packet>& batch) {
+  const bool faults = net_->has_hard_faults();
+  const Topology& topo = net_->topology();
   for (Packet& p : batch) {
     const NodeId src = p.src;
+    if (faults && (!topo.router_alive(src) || !topo.router_alive(p.dst) ||
+                   !topo.reachable(src, p.dst))) {
+      // The traffic model keeps generating for dead / disconnected
+      // endpoints; such packets are dropped at the boundary and counted.
+      ++unreachable_drops_;
+      continue;
+    }
     if (!net_->ni(src).enqueue_packet(std::move(p))) ++enqueue_drops_;
   }
   batch.clear();
@@ -254,6 +267,7 @@ SimResult Simulator::run_impl(TrafficGenerator& workload) {
   res.packets_delivered = m.packets_delivered;
   res.flits_delivered = m.flits_delivered;
   res.enqueue_drops = enqueue_drops_;
+  res.unreachable_drops = unreachable_drops_;
   res.retransmitted_flits = m.total_retransmitted_flits();
   res.retx_flits_e2e = m.retx_flits_e2e;
   res.retx_flits_hop = m.retx_flits_hop;
@@ -290,6 +304,9 @@ SimResult Simulator::run_impl(TrafficGenerator& workload) {
 
   if (enqueue_drops_ > 0)
     LOG_WARN("simulator: " << enqueue_drops_ << " packets dropped at full NI queues");
+  if (unreachable_drops_ > 0)
+    LOG_WARN("simulator: " << unreachable_drops_
+                           << " packets dropped for dead or disconnected endpoints");
   if (!res.drained)
     LOG_WARN("simulator: " << res.workload << "/" << res.policy
                            << " did not fully drain before the cycle guard");

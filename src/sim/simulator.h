@@ -87,6 +87,12 @@ struct SimOptions {
 
   /// Global multiplier on injected error probability (fault sweeps).
   double error_scale = 1.0;
+
+  /// Permanent faults (dead links / routers), applied at their at_cycle
+  /// (0 = before traffic). Config key `hard_faults`, CLI `--kill-link` /
+  /// `--kill-router`. Requires a routing policy that can route around them
+  /// (xy, yx or adaptive — not westfirst).
+  std::vector<HardFault> hard_faults;
   /// Freeze RL exploration during measurement. Default true: the policy
   /// acts greedily (and keeps applying the TD rule) while being measured;
   /// set false for the paper-literal always-exploring epsilon = 0.1
@@ -130,6 +136,9 @@ struct SimResult {
   /// the offered load exceeded what the NoC accepted; latency averages over
   /// the surviving packets only, so compare policies with this in view.
   std::uint64_t enqueue_drops = 0;
+  /// Generated packets never offered to the network because a hard fault
+  /// had killed or disconnected their source or destination (all phases).
+  std::uint64_t unreachable_drops = 0;
 
   std::uint64_t retransmitted_flits = 0;  ///< e2e + hop + duplicates
   std::uint64_t retx_flits_e2e = 0;
@@ -202,6 +211,7 @@ class Simulator {
   std::unique_ptr<SimTelemetryProbe> probe_;
   std::unique_ptr<NetworkAuditor> auditor_;
   std::uint64_t enqueue_drops_ = 0;
+  std::uint64_t unreachable_drops_ = 0;
   Cycle measure_start_ = 0;
   std::string telemetry_dir_;
   std::vector<std::string> telemetry_files_;

@@ -14,6 +14,8 @@ const char* trace_event_name(TraceEventKind k) noexcept {
     case TraceEventKind::kAuditViolation: return "audit_violation";
     case TraceEventKind::kEpochReward: return "epoch_reward";
     case TraceEventKind::kPhaseBegin: return "phase_begin";
+    case TraceEventKind::kLinkKilled: return "link_killed";
+    case TraceEventKind::kRouterKilled: return "router_killed";
   }
   return "?";
 }

@@ -245,9 +245,11 @@ enum class TraceEventKind : std::uint8_t {
   kAuditViolation,   ///< invariant auditor fired (run is about to abort)
   kEpochReward,      ///< control-step reward; value = reward
   kPhaseBegin,       ///< arg = SimPhase
+  kLinkKilled,       ///< hard fault severed a link; arg = neighbour node
+  kRouterKilled,     ///< hard fault killed a router
 };
 
-inline constexpr std::size_t kNumTraceEventKinds = 10;
+inline constexpr std::size_t kNumTraceEventKinds = 12;
 
 const char* trace_event_name(TraceEventKind k) noexcept;
 

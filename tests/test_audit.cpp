@@ -91,6 +91,50 @@ TEST(Audit, FaultHeavyArqTrafficAuditsCleanEveryCycle) {
   EXPECT_GT(discards, 0u);
 }
 
+TEST(Audit, DroopAccountingBalancesOnEveryLiveInjector) {
+  // Every link injector must satisfy droop_traversals + droop_left ==
+  // total_droops * droop_len at all times (the burst counter covers exactly
+  // its burst, counting the starter traversal). Drive real traffic, then
+  // sweep every live link's injector through Network::link_injector.
+  const NocConfig cfg = tiny_mesh();
+  Network net(cfg, /*seed=*/29);
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    for (const Port p : {Port::kNorth, Port::kSouth, Port::kEast, Port::kWest}) {
+      if (net.out_channel(n, p) != nullptr)
+        net.set_link_error_prob(n, p, LinkErrorProb{0.05, 0.002});
+    }
+  }
+  Rng traffic_rng(29, "droop-traffic");
+  PacketId next_id = 1;
+  for (int i = 0; i < 80; ++i) {
+    const auto src = static_cast<NodeId>(traffic_rng.next_u64() %
+                                         static_cast<std::uint64_t>(cfg.num_nodes()));
+    const auto dst = static_cast<NodeId>(traffic_rng.next_u64() %
+                                         static_cast<std::uint64_t>(cfg.num_nodes()));
+    if (src == dst) continue;
+    net.ni(src).enqueue_packet(make_packet(next_id++, src, dst,
+                                           cfg.flits_per_packet, 0,
+                                           net.payload_rng()));
+  }
+  for (int i = 0; i < 20000 && !net.drained(); ++i) net.step();
+  ASSERT_TRUE(net.drained());
+
+  std::uint64_t droops = 0;
+  int injectors = 0;
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    for (const Port p : {Port::kNorth, Port::kSouth, Port::kEast, Port::kWest}) {
+      const LinkFaultInjector* inj = net.link_injector(n, p);
+      if (inj == nullptr) continue;
+      ++injectors;
+      EXPECT_TRUE(inj->droop_accounting_consistent())
+          << "node " << n << " port " << port_name(p);
+      droops += inj->total_droops();
+    }
+  }
+  EXPECT_GT(injectors, 0);
+  EXPECT_GT(droops, 0u);  // the run must have entered bursts to mean much
+}
+
 TEST(Audit, PhantomFlitTripsConservation) {
   const NocConfig cfg = tiny_mesh();
   Network net(cfg, /*seed=*/5);

@@ -62,19 +62,37 @@ TEST(Features, DiscretizationBins) {
 }
 
 TEST(Features, TemperatureBinSweep) {
+  // Temperature is the 8th aggregated feature (index 7); the dead-link
+  // count now sits behind it.
   FeatureSnapshot s;
   s.temperature_c = 49.0;
-  EXPECT_EQ(s.discretize().back(), 0);
+  EXPECT_EQ(s.discretize()[7], 0);
   s.temperature_c = 65.0;
-  EXPECT_EQ(s.discretize().back(), 1);
+  EXPECT_EQ(s.discretize()[7], 1);
   s.temperature_c = 75.0;
-  EXPECT_EQ(s.discretize().back(), 2);
+  EXPECT_EQ(s.discretize()[7], 2);
   s.temperature_c = 85.0;
-  EXPECT_EQ(s.discretize().back(), 3);
+  EXPECT_EQ(s.discretize()[7], 3);
   s.temperature_c = 99.0;
-  EXPECT_EQ(s.discretize().back(), 4);
+  EXPECT_EQ(s.discretize()[7], 4);
   s.temperature_c = 140.0;
-  EXPECT_EQ(s.discretize().back(), 4);
+  EXPECT_EQ(s.discretize()[7], 4);
+}
+
+TEST(Features, DeadLinkFeature) {
+  FeatureSnapshot s = sample_snapshot();
+  // Fault-free: the dead-link feature is exactly zero in both layouts.
+  EXPECT_DOUBLE_EQ(s.to_vector(false).back(), 0.0);
+  EXPECT_EQ(s.discretize(false).back(), 0);
+  EXPECT_EQ(s.discretize(true).back(), 0);
+
+  s.out_link_dead[port_index(Port::kEast)] = 1.0;
+  s.out_link_dead[port_index(Port::kNorth)] = 1.0;
+  EXPECT_DOUBLE_EQ(s.to_vector(false).back(), 2.0 / 5.0);  // dead fraction
+  EXPECT_EQ(s.discretize(false).back(), 2);                // dead count
+  const DiscreteState per_port = s.discretize(true);
+  EXPECT_EQ(per_port[22 + static_cast<int>(port_index(Port::kEast))], 1);
+  EXPECT_EQ(per_port[22 + static_cast<int>(port_index(Port::kWest))], 0);
 }
 
 TEST(Features, IdenticalSnapshotsDiscretizeEqually) {

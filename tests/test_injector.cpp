@@ -38,7 +38,13 @@ TEST_F(InjectorTest, CertainProbabilityAlwaysFlips) {
 }
 
 TEST_F(InjectorTest, EventRateMatchesProbability) {
-  LinkFaultInjector inj(&model_, 3, "link:test");
+  // Droop off: this test checks the raw per-traversal Bernoulli rate. With
+  // droop enabled the true mean sits above p (bursts multiply it by
+  // droop_scale), which is covered by DroopRaisesEventRate below.
+  VariusParams p;
+  p.droop_rate = 0.0;
+  const VariusModel model(p);
+  LinkFaultInjector inj(&model, 3, "link:test");
   const int n = 200000;
   int events = 0;
   for (int i = 0; i < n; ++i) {
@@ -46,6 +52,46 @@ TEST_F(InjectorTest, EventRateMatchesProbability) {
     if (inj.inject(payload, nullptr, 0.05).error_event) ++events;
   }
   EXPECT_NEAR(static_cast<double>(events) / n, 0.05, 0.003);
+  EXPECT_EQ(inj.total_droops(), 0u);
+  EXPECT_TRUE(inj.droop_accounting_consistent());
+}
+
+TEST_F(InjectorTest, DroopRaisesEventRateAndAccountingBalances) {
+  // Default params have droop on (rate 2e-4, 24-traversal bursts, 12x
+  // scale); the measured rate must exceed the base probability and the
+  // droop counters must reconcile at every point.
+  LinkFaultInjector inj(&model_, 3, "link:test");
+  const int n = 200000;
+  int events = 0;
+  for (int i = 0; i < n; ++i) {
+    BitVec128 payload(0, 0);
+    if (inj.inject(payload, nullptr, 0.05).error_event) ++events;
+    ASSERT_TRUE(inj.droop_accounting_consistent());
+  }
+  EXPECT_GT(inj.total_droops(), 0u);
+  // Expected mean ~= 0.05 + burst_fraction * (min(1, 0.6) - 0.05) ~= 0.0526.
+  EXPECT_NEAR(static_cast<double>(events) / n, 0.0526, 0.004);
+  EXPECT_GT(inj.droop_traversals(),
+            inj.total_droops());  // bursts are longer than one traversal
+}
+
+TEST_F(InjectorTest, DroopBurstCoversExactlyLenTraversals) {
+  // Force a droop on (almost) every idle traversal and check each burst
+  // scales exactly droop_len_traversals flits, counting the starter.
+  VariusParams p;
+  p.droop_rate = 1.0;
+  p.droop_len_traversals = 5;
+  const VariusModel model(p);
+  LinkFaultInjector inj(&model, 9, "link:test");
+  BitVec128 payload(0, 0);
+  for (int i = 0; i < 100; ++i) {
+    inj.inject(payload, nullptr, 0.0);
+    ASSERT_TRUE(inj.droop_accounting_consistent());
+  }
+  // Back-to-back bursts: 100 traversals / 5 per burst = 20 bursts exactly.
+  EXPECT_EQ(inj.total_droops(), 20u);
+  EXPECT_EQ(inj.droop_traversals(), 100u);
+  EXPECT_EQ(inj.droop_left(), 0);
 }
 
 TEST_F(InjectorTest, FlipsLandInPayloadWithoutEcc) {

@@ -98,6 +98,35 @@ TEST(OptionsIo, AuditKeysRoundTrip) {
   EXPECT_EQ(opt.audit_interval, 64u);
 }
 
+TEST(OptionsIo, HardFaultsKeyParses) {
+  const Config cfg = Config::from_string(R"(
+    noc.mesh_width = 4
+    noc.mesh_height = 4
+    hard_faults = link:5:E@100, router:9
+  )");
+  const SimOptions opt = sim_options_from_config(cfg);
+  ASSERT_EQ(opt.hard_faults.size(), 2u);
+  EXPECT_EQ(opt.hard_faults[0].kind, HardFault::Kind::kLink);
+  EXPECT_EQ(opt.hard_faults[0].node, 5);
+  EXPECT_EQ(opt.hard_faults[0].port, Port::kEast);
+  EXPECT_EQ(opt.hard_faults[0].at_cycle, 100u);
+  EXPECT_EQ(opt.hard_faults[1].kind, HardFault::Kind::kRouter);
+  EXPECT_EQ(opt.hard_faults[1].node, 9);
+}
+
+TEST(OptionsIo, MalformedHardFaultsThrowConfigError) {
+  const Config cfg = Config::from_string("hard_faults = link:oops\n");
+  EXPECT_THROW(sim_options_from_config(cfg), ConfigError);
+}
+
+TEST(OptionsIo, HardFaultsRejectWestfirstRouting) {
+  const Config cfg = Config::from_string(R"(
+    noc.routing = westfirst
+    hard_faults = link:5:E
+  )");
+  EXPECT_THROW(sim_options_from_config(cfg), ConfigError);
+}
+
 TEST(OptionsIo, InvalidStructuralValueThrows) {
   const Config cfg = Config::from_string("noc.mesh_width = 1\n");
   EXPECT_THROW(sim_options_from_config(cfg), std::invalid_argument);

@@ -78,6 +78,54 @@ def load_scaling(path):
     return doc
 
 
+def load_faults(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rlftnoc-bench-faults-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def print_faults(faults):
+    print()
+    print(
+        f"hard-fault sweep ({faults['mesh']}x{faults['mesh']} "
+        f"{faults['topology']}, {faults['routing']} routing, "
+        f"{faults['total_links']} links)"
+    )
+    print(
+        f"{'faults':>7}  {'killed':>6}  {'delivered':>9}  {'unreach':>7}  "
+        f"{'latency':>8}  {'vs fault-free':>13}"
+    )
+    for c in faults["cells"]:
+        print(
+            f"{c['fraction'] * 100.0:>6.1f}%  {c['links_killed']:>6}  "
+            f"{c['packets_delivered']:>9}  {c['unreachable_drops']:>7}  "
+            f"{c['avg_latency']:>8.2f}  "
+            f"{c['delivered_vs_faultfree'] * 100.0:>12.1f}%"
+        )
+
+
+def check_faults(faults):
+    """Returns a list of failure messages (empty = pass)."""
+    failures = []
+    if not faults.get("results_identical", False):
+        failures.append(
+            "faults bench reported result divergence across sim_threads "
+            "(determinism contract broken under hard faults)"
+        )
+    for c in faults["cells"]:
+        if c["packets_delivered"] == 0:
+            failures.append(
+                f"zero throughput with {c['links_killed']} dead links"
+            )
+        if not c["drained"]:
+            failures.append(
+                f"run with {c['links_killed']} dead links did not drain"
+            )
+    return failures
+
+
 def print_scaling(scaling):
     print()
     print(
@@ -180,6 +228,11 @@ def main():
         help="bench_scaling JSON to summarize and gate",
     )
     ap.add_argument("--scaling-floor", type=float, default=1.5)
+    ap.add_argument(
+        "--faults",
+        metavar="BENCH_FAULTS",
+        help="bench_faults JSON to summarize and gate",
+    )
     args = ap.parse_args()
 
     micro = load_microperf(args.microperf)
@@ -193,6 +246,15 @@ def main():
         if failures:
             for msg in failures:
                 print(f"PERF REGRESSION: {msg}")
+            sys.exit(1)
+
+    if args.faults:
+        faults = load_faults(args.faults)
+        print_faults(faults)
+        failures = check_faults(faults)
+        if failures:
+            for msg in failures:
+                print(f"FAULT SWEEP FAILURE: {msg}")
             sys.exit(1)
 
     if args.check_against:
