@@ -52,10 +52,10 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(kBudgetPct),
                static_cast<unsigned long long>(kSeed));
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // rlftnoc-lint: allow(R2) wall-clock is the bench metric, never a sim input
   const CampaignResults res =
       run_campaign(base, benchmarks, policies, kBudgetPct);
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // rlftnoc-lint: allow(R2) wall-clock is the bench metric, never a sim input
 
   const double wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();

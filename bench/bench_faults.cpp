@@ -88,9 +88,9 @@ SimResult run_cell(const std::vector<HardFault>& faults, unsigned sim_threads,
   to.injection_rate = 0.05;
   to.total_packets = kPackets;
   SyntheticTraffic gen(MeshTopology(opt.noc), to, opt.seed);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // rlftnoc-lint: allow(R2) wall-clock is the bench metric, never a sim input
   const SimResult r = sim.run(gen);
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // rlftnoc-lint: allow(R2) wall-clock is the bench metric, never a sim input
   wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return r;
 }

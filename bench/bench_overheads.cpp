@@ -49,12 +49,12 @@ int main() {
     // Warm the table, then time steady-state decide() calls.
     for (int i = 0; i < 1000; ++i) rl.decide(i % 64, snap, 0.5);
     constexpr int kIters = 200000;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();  // rlftnoc-lint: allow(R2) wall-clock is the bench metric, never a sim input
     for (int i = 0; i < kIters; ++i) {
       snap.temperature_c = 60.0 + (i % 40);
       rl.decide(i % 64, snap, 0.5);
     }
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();  // rlftnoc-lint: allow(R2) wall-clock is the bench metric, never a sim input
     const double ns =
         std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
     std::printf("computation: one RL control step (lookup+update+select)\n");

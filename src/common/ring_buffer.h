@@ -15,6 +15,7 @@
 // the buffer dies; callers that care about eager resource release should
 // std::move() out of front() before pop_front() — every hot-path user here
 // does.
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstddef>

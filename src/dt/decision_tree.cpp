@@ -11,6 +11,7 @@ namespace {
 double gini(const std::vector<int>& hist, int total) noexcept {
   if (total == 0) return 0.0;
   double sum_sq = 0.0;
+  // rlftnoc-lint: ordered (hist is a vector; index order is fixed)
   for (const int c : hist) {
     const double p = static_cast<double>(c) / total;
     sum_sq += p * p;

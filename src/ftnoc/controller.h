@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "fault/varius.h"
 #include "ftnoc/features.h"
@@ -82,9 +83,17 @@ class FtController {
 
   /// Last computed snapshot / reward / mode per router (diagnostics).
   const FeatureSnapshot& last_features(NodeId r) const {
-    return features_.at(static_cast<std::size_t>(r));
+    const auto i = static_cast<std::size_t>(r);
+    RLFTNOC_CHECK(i < features_.size(),
+                  "FtController::last_features: router %d out of range", r);
+    return features_[i];
   }
-  double last_reward(NodeId r) const { return rewards_.at(static_cast<std::size_t>(r)); }
+  double last_reward(NodeId r) const {
+    const auto i = static_cast<std::size_t>(r);
+    RLFTNOC_CHECK(i < rewards_.size(),
+                  "FtController::last_reward: router %d out of range", r);
+    return rewards_[i];
+  }
   OpMode current_mode(NodeId r) const;
 
   /// Number of control steps taken so far.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "ftnoc/policy.h"
 #include "rl/agent.h"
 
@@ -111,8 +112,10 @@ class RlPolicy final : public ControlPolicy {
   };
 
   QLearningAgent& agent_for(NodeId router) {
-    return shared_table_ ? agents_.front()
-                         : agents_.at(static_cast<std::size_t>(router));
+    const auto i = static_cast<std::size_t>(router);
+    RLFTNOC_CHECK(shared_table_ || i < agents_.size(),
+                  "RlPolicy: router %d has no agent", router);
+    return shared_table_ ? agents_.front() : agents_[i];
   }
 
   std::vector<QLearningAgent> agents_;

@@ -1,7 +1,7 @@
 #include "noc/audit.h"
 
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "noc/network.h"
 
@@ -272,7 +272,9 @@ void NetworkAuditor::audit_arq_consistency(
         fail(os.str());
       }
 
-      std::unordered_map<FlitId, const ArqRetention*> retained;
+      // Ordered map: which inconsistency gets reported first must not
+      // depend on hash traversal order (the audit aborts on the first one).
+      std::map<FlitId, const ArqRetention*> retained;
       op.retention.for_each([&](FlitId key, const ArqRetention& ret) {
         if (key != ret.clean.id()) {
           std::ostringstream os;
@@ -293,7 +295,7 @@ void NetworkAuditor::audit_arq_consistency(
         }
       });
 
-      std::unordered_map<FlitId, int> queued;
+      std::map<FlitId, int> queued;
       op.retx_queue.for_each([&](const FlitId id) { ++queued[id]; });
       for (const auto& [id, count] : queued) {
         const auto it = retained.find(id);

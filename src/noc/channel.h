@@ -5,6 +5,7 @@
 // order-independent: producers push entries stamped `deliver_at = now +
 // latency`, consumers only pop entries whose stamp has matured. Pushing and
 // popping within the same simulated cycle therefore never race.
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstdint>

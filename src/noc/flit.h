@@ -8,6 +8,7 @@
 // Header fields (src/dst/vc/sequence) ride as side-band metadata and are
 // never corrupted; real routers protect the header with a dedicated stronger
 // code, and the paper's error model targets the datapath (see DESIGN.md).
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstdint>

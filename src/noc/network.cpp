@@ -1,3 +1,4 @@
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #include "noc/network.h"
 
 #include <algorithm>

@@ -10,6 +10,7 @@
 // per-shard StepEffects buffers and merged after the phase barrier in
 // canonical node order, so results are bit-identical for any thread count
 // (see DESIGN.md, "Parallel stepping & deterministic merge").
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstdint>

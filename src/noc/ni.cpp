@@ -1,4 +1,7 @@
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #include "noc/ni.h"
+
+#include <algorithm>
 
 #include "common/check.h"
 #include "coding/crc.h"
@@ -184,14 +187,20 @@ void NetworkInterface::purge_unreachable(
   // Reinject copies share identity with their retained master, which is
   // counted below — dropping the copy is not a second abandonment.
   reinject_.remove_if([&](const Packet& p) { return lost_dst(p.dst); });
-  for (auto it = retained_.begin(); it != retained_.end();) {
-    if (lost_dst(it->second.dst)) {
-      orphans.emplace_back(it->first, it->second.dst);
-      ++counters_.packets_abandoned;
-      it = retained_.erase(it);
-    } else {
-      ++it;
-    }
+  // Orphans feed the network's reassembly/e2e repair sweep, so their order
+  // must not depend on hash-map traversal: snapshot the doomed ids, sort,
+  // then erase in ascending PacketId order.
+  std::vector<PacketId> doomed;
+  // rlftnoc-lint: allow(R1) key snapshot is sorted below; order cannot escape
+  for (const auto& [id, pkt] : retained_) {
+    if (lost_dst(pkt.dst)) doomed.push_back(id);
+  }
+  std::sort(doomed.begin(), doomed.end());
+  for (const PacketId id : doomed) {
+    const auto it = retained_.find(id);
+    orphans.emplace_back(id, it->second.dst);
+    ++counters_.packets_abandoned;
+    retained_.erase(it);
   }
   // An in-progress `sending_` worm is deliberately left alone: its flits are
   // already interleaved with the router pipeline, and the RC unreachable
@@ -203,7 +212,13 @@ void NetworkInterface::purge_for_router_kill(
     std::vector<std::pair<PacketId, NodeId>>& orphans) {
   counters_.packets_abandoned +=
       static_cast<std::uint64_t>(queue_.size() + retained_.size());
+  // Same discipline as purge_unreachable: orphans leave this function in
+  // sorted PacketId order, never in hash order.
+  const std::size_t first_orphan = orphans.size();
+  // rlftnoc-lint: allow(R1) snapshot sorted below; order cannot escape
   for (const auto& [id, pkt] : retained_) orphans.emplace_back(id, pkt.dst);
+  std::sort(orphans.begin() + static_cast<std::ptrdiff_t>(first_orphan),
+            orphans.end());
   queue_.clear();
   reinject_.clear();
   retained_.clear();

@@ -9,6 +9,7 @@
 // Destination side: ejects flits, recomputes the CRC over the (possibly
 // corrupted, possibly ECC-"corrected") payload, reassembles packets, and
 // requests the source retransmission when any flit fails.
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstdint>

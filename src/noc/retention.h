@@ -12,6 +12,7 @@
 // slot. Slots are pointer-stable for the lifetime of an entry, so callers
 // may hold ArqRetention* across unrelated insert/erase calls. Deletion uses
 // backward-shift compaction, so probe chains never accumulate tombstones.
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstddef>

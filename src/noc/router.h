@@ -19,6 +19,7 @@
 //  * mode 3  - additionally, every transmission stretches over 3 cycles
 //              (control-signal cycle + stall), relaxing the timing path so
 //              the VARIUS error probability collapses to ~0.
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <array>

@@ -17,6 +17,7 @@
 // trace stream and every counter bit-identical between `sim_threads=1` and
 // `sim_threads=N` (see DESIGN.md, "Parallel stepping & deterministic
 // merge").
+// rlftnoc-lint: hot-path (per-cycle step path: R4 bans node-allocating containers and .at())
 #pragma once
 
 #include <cstdint>

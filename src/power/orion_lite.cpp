@@ -1,5 +1,7 @@
 #include "power/orion_lite.h"
 
+#include "common/check.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -36,8 +38,10 @@ PowerModel::PowerModel(int num_routers, PowerParams params) : params_(params) {
 void PowerModel::record(int router, PowerEvent e, std::uint64_t n) {
   const auto r = static_cast<std::size_t>(router);
   const auto i = static_cast<std::size_t>(e);
-  window_counts_.at(r)[i] += n;
-  total_counts_.at(r)[i] += n;
+  RLFTNOC_CHECK(r < window_counts_.size() && i < kNumPowerEvents,
+                "PowerModel::record: router %d event %zu out of range", router, i);
+  window_counts_[r][i] += n;
+  total_counts_[r][i] += n;
 }
 
 double PowerModel::leakage_watts(double temp_c) const noexcept {
@@ -49,8 +53,10 @@ double PowerModel::leakage_watts(double temp_c) const noexcept {
 
 void PowerModel::integrate_leakage(int router, double temp_c, std::uint64_t cycles) {
   const double seconds = static_cast<double>(cycles) / params_.clock_hz;
-  leak_energy_pj_.at(static_cast<std::size_t>(router)) +=
-      leakage_watts(temp_c) * seconds * 1e12;
+  const auto r = static_cast<std::size_t>(router);
+  RLFTNOC_CHECK(r < leak_energy_pj_.size(),
+                "PowerModel::integrate_leakage: router %d out of range", router);
+  leak_energy_pj_[r] += leakage_watts(temp_c) * seconds * 1e12;
 }
 
 double PowerModel::counts_to_pj(const EventCounts& c) const noexcept {
@@ -61,7 +67,9 @@ double PowerModel::counts_to_pj(const EventCounts& c) const noexcept {
 }
 
 double PowerModel::window_dynamic_energy_pj(int router) const {
-  return counts_to_pj(window_counts_.at(static_cast<std::size_t>(router)));
+  const auto r = static_cast<std::size_t>(router);
+  RLFTNOC_CHECK(r < window_counts_.size(), "PowerModel: router %d out of range", router);
+  return counts_to_pj(window_counts_[r]);
 }
 
 double PowerModel::window_dynamic_power_w(int router, std::uint64_t cycles) const {
@@ -71,11 +79,16 @@ double PowerModel::window_dynamic_power_w(int router, std::uint64_t cycles) cons
 }
 
 void PowerModel::reset_window(int router) {
-  window_counts_.at(static_cast<std::size_t>(router)) = EventCounts{};
+  const auto r = static_cast<std::size_t>(router);
+  RLFTNOC_CHECK(r < window_counts_.size(),
+                "PowerModel::reset_window: router %d out of range", router);
+  window_counts_[r] = EventCounts{};
 }
 
 double PowerModel::total_dynamic_energy_pj(int router) const {
-  return counts_to_pj(total_counts_.at(static_cast<std::size_t>(router)));
+  const auto r = static_cast<std::size_t>(router);
+  RLFTNOC_CHECK(r < total_counts_.size(), "PowerModel: router %d out of range", router);
+  return counts_to_pj(total_counts_[r]);
 }
 
 double PowerModel::total_dynamic_energy_pj() const {
@@ -85,7 +98,10 @@ double PowerModel::total_dynamic_energy_pj() const {
 }
 
 double PowerModel::total_leakage_energy_pj(int router) const {
-  return leak_energy_pj_.at(static_cast<std::size_t>(router));
+  const auto r = static_cast<std::size_t>(router);
+  RLFTNOC_CHECK(r < leak_energy_pj_.size(),
+                "PowerModel: router %d out of range", router);
+  return leak_energy_pj_[r];
 }
 
 double PowerModel::total_leakage_energy_pj() const {

@@ -4,11 +4,13 @@
 // stays tractable.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -108,8 +110,21 @@ class QTable {
   std::size_t size() const noexcept { return table_.size(); }
   void clear() { table_.clear(); }
 
-  auto begin() const { return table_.begin(); }
-  auto end() const { return table_.end(); }
+  /// The only iteration surface: a snapshot of (state, row) pointers sorted
+  /// lexicographically by state bytes. The hash table's own traversal order
+  /// never escapes this class — qtable_io serializes through this, so saved
+  /// Q-table bytes are identical for identical table *contents* regardless
+  /// of insertion history or standard-library hash internals.
+  std::vector<std::pair<const DiscreteState*, const Row*>> sorted_items()
+      const {
+    std::vector<std::pair<const DiscreteState*, const Row*>> items;
+    items.reserve(table_.size());
+    // rlftnoc-lint: allow(R1) snapshot sorted below; hash order cannot escape
+    for (const auto& [state, row] : table_) items.emplace_back(&state, &row);
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return *a.first < *b.first; });
+    return items;
+  }
 
  private:
   double init_ = 0.0;

@@ -16,16 +16,18 @@ void write_qtables(std::ostream& out, const std::vector<const QTable*>& tables) 
   out << "agents " << tables.size() << '\n';
   for (std::size_t i = 0; i < tables.size(); ++i) {
     const QTable& t = *tables[i];
-    std::size_t features = 0;
-    if (t.begin() != t.end()) features = t.begin()->first.size();
+    // Sorted-by-state order: saved bytes depend only on table contents,
+    // never on the hash map's insertion history (see QTable::sorted_items).
+    const auto items = t.sorted_items();
+    const std::size_t features = items.empty() ? 0 : items.front().first->size();
     out << "agent " << i << " rows " << t.size() << " features " << features
         << " init " << t.init_value() << '\n';
-    for (const auto& [state, row] : t) {
-      for (const std::uint8_t b : state) out << static_cast<int>(b) << ' ';
+    for (const auto& [state, row] : items) {
+      for (const std::uint8_t b : *state) out << static_cast<int>(b) << ' ';
       out << '|';
-      for (const double q : row.q) out << ' ' << q;
+      for (const double q : row->q) out << ' ' << q;
       out << " |";
-      for (const std::uint32_t n : row.visits) out << ' ' << n;
+      for (const std::uint32_t n : row->visits) out << ' ' << n;
       out << '\n';
     }
   }

@@ -7,7 +7,7 @@
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
-#include <unordered_set>
+#include <set>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -27,7 +27,7 @@ CampaignResults run_campaign(const SimOptions& base,
   // run's results row, derived seed and telemetry file set, so a duplicate
   // would silently overwrite one run's output with another's.
   {
-    std::unordered_set<std::string> seen;
+    std::set<std::string> seen;
     for (const std::string& b : benchmarks) {
       for (const PolicyKind p : policies) {
         const std::string key = b + "/" + policy_name(p);

@@ -1,5 +1,7 @@
 #include "thermal/hotspot_lite.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -18,7 +20,10 @@ ThermalGrid::ThermalGrid(int width, int height, ThermalParams params)
 }
 
 void ThermalGrid::set_power(int node, double watts) {
-  power_w_.at(static_cast<std::size_t>(node)) = std::max(watts, 0.0);
+  const auto i = static_cast<std::size_t>(node);
+  RLFTNOC_CHECK(i < power_w_.size(),
+                "ThermalGrid::set_power: node %d out of range", node);
+  power_w_[i] = std::max(watts, 0.0);
 }
 
 void ThermalGrid::step() {
@@ -60,7 +65,10 @@ int ThermalGrid::settle(double tol_c, int max_steps) {
 }
 
 double ThermalGrid::temperature(int node) const {
-  return temp_c_.at(static_cast<std::size_t>(node));
+  const auto i = static_cast<std::size_t>(node);
+  RLFTNOC_CHECK(i < temp_c_.size(),
+                "ThermalGrid::temperature: node %d out of range", node);
+  return temp_c_[i];
 }
 
 double ThermalGrid::max_temperature() const noexcept {

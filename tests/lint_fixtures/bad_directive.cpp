@@ -1,0 +1,15 @@
+// Lint fixture: malformed directives must be reported as R0, never silently
+// ignored. Not part of any build target.
+
+namespace fixture {
+
+// rlftnoc-lint: allow(R9) no such rule
+inline int unknown_rule() { return 1; }
+
+// rlftnoc-lint: allow(R1)
+inline int missing_reason() { return 2; }
+
+// rlftnoc-lint: totally-unknown-directive
+inline int unknown_directive() { return 3; }
+
+}  // namespace fixture

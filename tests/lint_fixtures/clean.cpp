@@ -1,0 +1,27 @@
+// Lint fixture: a determinism-critical file with zero findings — ordered
+// containers, seeded entropy, RLFTNOC_CHECK-style invariants, attested FP
+// accumulation. Not part of any build target.
+// rlftnoc-lint: determinism-critical
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Clean {
+  std::map<int, double> ordered_;
+};
+
+inline double sum(const Clean& c) {
+  double s = 0.0;
+  // rlftnoc-lint: ordered (std::map iterates in key order)
+  for (const auto& [k, v] : c.ordered_) {
+    s += v;
+  }
+  return s;
+}
+
+inline int checked(const std::vector<int>& xs, unsigned long i) {
+  return i < xs.size() ? xs[i] : 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Lint fixture: R1 no-unordered-iteration. Not part of any build target —
+// this file exists only to be scanned by test_lint.
+// rlftnoc-lint: determinism-critical
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using Lut = std::unordered_map<int, double>;
+
+struct Holder {
+  std::unordered_map<int, int> counts_;
+  std::unordered_set<std::string> names_;
+  Lut aliased_;
+};
+
+inline int range_for_over_map(Holder& h) {
+  int sum = 0;
+  for (const auto& [k, v] : h.counts_) sum += k + v;  // VIOLATION R1
+  return sum;
+}
+
+inline int iterator_loop_over_set(Holder& h) {
+  int n = 0;
+  for (auto it = h.names_.begin(); it != h.names_.end(); ++it) {  // VIOLATION R1
+    ++n;
+  }
+  return n;
+}
+
+inline double range_for_over_alias(Holder& h) {
+  double s = 0;
+  for (const auto& [k, v] : h.aliased_) s = s + v;  // VIOLATION R1
+  return s;
+}
+
+inline int lookup_only_is_fine(Holder& h, int key) {
+  const auto it = h.counts_.find(key);  // lookups are not iteration: no finding
+  return it == h.counts_.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Lint fixture: R2 no-ambient-entropy. Not part of any build target.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned ambient_seed() {
+  std::random_device rd;  // VIOLATION R2
+  return rd();
+}
+
+inline int ambient_rand() {
+  return std::rand();  // VIOLATION R2
+}
+
+inline long ambient_time() {
+  return time(nullptr);  // VIOLATION R2
+}
+
+inline long long ambient_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // VIOLATION R2
+}
+
+inline int runtime_is_fine(int runtime) {
+  // Identifiers merely *containing* the banned names are not findings.
+  const int time_budget = runtime;
+  return time_budget;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: R3 no-bare-assert. Not part of any build target.
+#include <cassert>  // VIOLATION R3
+
+namespace fixture {
+
+inline void check_positive(int v) {
+  assert(v > 0);  // VIOLATION R3
+  static_assert(sizeof(int) >= 4, "static_assert is fine");
+  (void)v;
+}
+
+}  // namespace fixture

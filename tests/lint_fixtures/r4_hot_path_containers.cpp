@@ -1,0 +1,22 @@
+// Lint fixture: R4 hot-path-container-bans. Not part of any build target.
+// rlftnoc-lint: hot-path
+#include <deque>  // VIOLATION R4
+#include <vector>
+
+namespace fixture {
+
+struct PerCycleState {
+  std::deque<int> fifo;          // VIOLATION R4
+  std::map<int, int> ordered;    // VIOLATION R4 (std::map allocates per node)
+  std::vector<int> flat;         // vectors are fine
+};
+
+inline int throwing_access(const PerCycleState& s, int i) {
+  return s.flat.at(static_cast<unsigned long>(i));  // VIOLATION R4 (.at throws)
+}
+
+inline int unchecked_access(const PerCycleState& s, int i) {
+  return s.flat[static_cast<unsigned long>(i)];  // unchecked indexing is fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Lint fixture: R5 float-accumulation-order. Not part of any build target.
+// rlftnoc-lint: determinism-critical
+#include <vector>
+
+namespace fixture {
+
+inline double unattested_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) {
+    total += x;  // VIOLATION R5: no ordering attestation
+  }
+  return total;
+}
+
+inline double attested_sum(const std::vector<double>& xs) {
+  double acc = 0.0;
+  // rlftnoc-lint: ordered (vector index order is fixed)
+  for (const double x : xs) {
+    acc += x;  // attested via the loop header: no finding
+  }
+  return acc;
+}
+
+// Note: variable names are distinct per function on purpose — declaration
+// tracking is file-scoped (no scope analysis), so reusing `total` for an
+// integer here would alias the double above.
+inline long integer_sum_is_fine(const std::vector<int>& xs) {
+  long count = 0;
+  for (const int x : xs) {
+    count += x;  // integer accumulation is associative: no finding
+  }
+  return count;
+}
+
+}  // namespace fixture

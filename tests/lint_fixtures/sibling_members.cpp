@@ -1,0 +1,15 @@
+// Lint fixture: iterates a member whose unordered declaration lives in the
+// sibling header — the pairing pass must still flag it. Not part of any
+// build target.
+// rlftnoc-lint: determinism-critical
+#include "sibling_members.h"
+
+namespace fixture {
+
+long Tracker::total() const {
+  long sum = 0;
+  for (const auto& [id, n] : by_id_) sum += n;  // VIOLATION R1 (member in .h)
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Lint fixture: header half of the sibling-pairing case — the unordered
+// member is declared here, iterated in sibling_members.cpp. Not part of any
+// build target.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<int, long> by_id_;
+  long total() const;
+};
+
+}  // namespace fixture

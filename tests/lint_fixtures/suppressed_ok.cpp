@@ -1,0 +1,31 @@
+// Lint fixture: inline allow() suppressions. Every violation here carries a
+// reasoned suppression, so the file must lint clean (0 active findings, 3
+// suppressed). Not part of any build target.
+// rlftnoc-lint: determinism-critical
+#include <cassert>  // rlftnoc-lint: allow(R3) fixture must pull in assert to suppress it below
+#include <unordered_map>
+
+namespace fixture {
+
+struct S {
+  std::unordered_map<int, int> m_;
+};
+
+inline int suppressed_iteration(S& s) {
+  int sum = 0;
+  // rlftnoc-lint: allow(R1) snapshot is sorted by the caller; order cannot escape
+  for (const auto& [k, v] : s.m_) sum += k + v;
+  return sum;
+}
+
+inline void suppressed_assert(int v) {
+  assert(v >= 0);  // rlftnoc-lint: allow(R3) fixture exercising trailing-comment suppression
+  (void)v;
+}
+
+inline long suppressed_time() {
+  // rlftnoc-lint: allow(R2) diagnostic timestamp, never reaches results
+  return time(nullptr);
+}
+
+}  // namespace fixture

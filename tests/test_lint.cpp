@@ -1,0 +1,221 @@
+// Tests for rlftnoc_lint: one seeded violation per rule under
+// tests/lint_fixtures/, plus suppression, directive-error, sibling-header
+// pairing, and baseline round-trip coverage. The fixture directory is passed
+// in via RLFTNOC_LINT_FIXTURE_DIR so the tests run from any build dir.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+
+namespace {
+
+using rlftnoc::lint::apply_baseline;
+using rlftnoc::lint::Baseline;
+using rlftnoc::lint::Finding;
+using rlftnoc::lint::LintConfig;
+using rlftnoc::lint::lint_file;
+using rlftnoc::lint::lint_source;
+using rlftnoc::lint::read_baseline;
+using rlftnoc::lint::write_baseline;
+using rlftnoc::lint::write_json;
+
+LintConfig fixture_config() {
+  LintConfig cfg;
+  cfg.repo_root = RLFTNOC_LINT_FIXTURE_DIR;
+  return cfg;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return lint_file(name, fixture_config());
+}
+
+std::vector<Finding> active(const std::vector<Finding>& fs) {
+  std::vector<Finding> out;
+  for (const auto& f : fs) {
+    if (!f.suppressed && !f.baselined) out.push_back(f);
+  }
+  return out;
+}
+
+std::multiset<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::multiset<std::string> out;
+  for (const auto& f : fs) out.insert(f.rule);
+  return out;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& fs,
+                          const std::string& rule) {
+  std::vector<int> out;
+  for (const auto& f : fs) {
+    if (f.rule == rule) out.push_back(f.line);
+  }
+  return out;
+}
+
+TEST(LintRules, R1FlagsUnorderedIterationOnly) {
+  const auto fs = lint_fixture("r1_unordered_iteration.cpp");
+  const auto act = active(fs);
+  EXPECT_EQ(rules_of(act), (std::multiset<std::string>{"R1", "R1", "R1"}));
+  // Range-for over a member, an explicit iterator loop, and a range-for over
+  // a using-alias type; the find()-based lookup must not be flagged.
+  EXPECT_EQ(lines_of(act, "R1"), (std::vector<int>{20, 26, 34}));
+}
+
+TEST(LintRules, R2FlagsAmbientEntropySources) {
+  const auto fs = lint_fixture("r2_ambient_entropy.cpp");
+  const auto act = active(fs);
+  EXPECT_EQ(rules_of(act), (std::multiset<std::string>{"R2", "R2", "R2", "R2"}));
+  // random_device, rand(), time(), steady_clock — but not `time_budget`.
+  EXPECT_EQ(lines_of(act, "R2"), (std::vector<int>{10, 15, 19, 23}));
+}
+
+TEST(LintRules, R3FlagsBareAssertButNotStaticAssert) {
+  const auto fs = lint_fixture("r3_bare_assert.cpp");
+  const auto act = active(fs);
+  EXPECT_EQ(rules_of(act), (std::multiset<std::string>{"R3", "R3"}));
+  // The <cassert> include and the assert() call; static_assert is exempt.
+  EXPECT_EQ(lines_of(act, "R3"), (std::vector<int>{2, 7}));
+}
+
+TEST(LintRules, R4FlagsBannedContainersAndThrowingAt) {
+  const auto fs = lint_fixture("r4_hot_path_containers.cpp");
+  const auto act = active(fs);
+  EXPECT_EQ(rules_of(act),
+            (std::multiset<std::string>{"R4", "R4", "R4", "R4"}));
+  // <deque> include, deque member, map member, .at() call; the std::vector
+  // member and unchecked operator[] must not be flagged.
+  EXPECT_EQ(lines_of(act, "R4"), (std::vector<int>{3, 9, 10, 15}));
+}
+
+TEST(LintRules, R5FlagsUnattestedFloatAccumulation) {
+  const auto fs = lint_fixture("r5_float_accumulation.cpp");
+  const auto act = active(fs);
+  EXPECT_EQ(rules_of(act), (std::multiset<std::string>{"R5"}));
+  // Only the unattested double += loop; the attested loop and the integer
+  // accumulation are clean.
+  EXPECT_EQ(lines_of(act, "R5"), (std::vector<int>{10}));
+}
+
+TEST(LintRules, SiblingHeaderMembersAreSeenByImplementationFile) {
+  const auto fs = lint_fixture("sibling_members.cpp");
+  const auto act = active(fs);
+  ASSERT_EQ(act.size(), 1u);
+  EXPECT_EQ(act[0].rule, "R1");
+  EXPECT_EQ(act[0].line, 11);  // by_id_ is declared only in the .h
+}
+
+TEST(LintSuppression, InlineAllowSuppressesButStillReports) {
+  const auto fs = lint_fixture("suppressed_ok.cpp");
+  EXPECT_TRUE(active(fs).empty());
+  // The violations are still *found* (R1, R2, the <cassert> include, and
+  // the assert call), just marked suppressed — suppression must never hide
+  // a finding from the report.
+  EXPECT_EQ(rules_of(fs),
+            (std::multiset<std::string>{"R1", "R2", "R3", "R3"}));
+  for (const auto& f : fs) EXPECT_TRUE(f.suppressed) << f.rule;
+}
+
+TEST(LintSuppression, MalformedDirectivesAreR0AndUnsuppressible) {
+  const auto fs = lint_fixture("bad_directive.cpp");
+  const auto act = active(fs);
+  // Unknown rule, missing reason, unknown directive — three R0 findings.
+  EXPECT_EQ(rules_of(act), (std::multiset<std::string>{"R0", "R0", "R0"}));
+  EXPECT_EQ(lines_of(act, "R0"), (std::vector<int>{6, 9, 12}));
+}
+
+TEST(LintSuppression, CleanFixtureHasNoFindings) {
+  const auto fs = lint_fixture("clean.cpp");
+  EXPECT_TRUE(active(fs).empty());
+}
+
+TEST(LintScoping, R1AndR5AreScopedToDeterminismCriticalFiles) {
+  // Same source, no marker, path outside determinism_dirs: R1/R5 do not fire
+  // (R2/R3 still would — scope is per-rule, not per-file).
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "int f() { int s = 0; for (const auto& [k, v] : m) s += v; return s; }\n";
+  LintConfig cfg = fixture_config();
+  EXPECT_TRUE(active(lint_source("apps/outside.cpp", src, cfg)).empty());
+
+  const std::string marked = "// rlftnoc-lint: determinism-critical\n" + src;
+  const auto fs = active(lint_source("apps/outside.cpp", marked, cfg));
+  EXPECT_EQ(rules_of(fs), (std::multiset<std::string>{"R1"}));
+}
+
+TEST(LintBaseline, RoundTripAbsorbsExactlyTheBudget) {
+  auto fs = lint_fixture("r1_unordered_iteration.cpp");
+  ASSERT_EQ(active(fs).size(), 3u);
+
+  // write_baseline -> read_baseline must reproduce the exact budget.
+  std::stringstream ss;
+  write_baseline(ss, fs);
+  const Baseline b = read_baseline(ss);
+  ASSERT_EQ(b.budget.size(), 1u);
+  EXPECT_EQ(b.budget.begin()->second, 3);
+
+  const auto stale = apply_baseline(fs, b);
+  EXPECT_TRUE(stale.empty());
+  EXPECT_TRUE(active(fs).empty());
+  for (const auto& f : fs) EXPECT_TRUE(f.baselined);
+}
+
+TEST(LintBaseline, StaleBudgetIsReportedWhenFindingsShrink) {
+  // Budget of 5 against 3 live findings: stale (the tight-baseline CI mode
+  // turns this into a hard failure, forcing the baseline down).
+  std::stringstream in("R1 r1_unordered_iteration.cpp 5\n");
+  const Baseline b = read_baseline(in);
+  auto fs = lint_fixture("r1_unordered_iteration.cpp");
+  const auto stale = apply_baseline(fs, b);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "R1 r1_unordered_iteration.cpp have=3 budget=5");
+}
+
+TEST(LintBaseline, PartialBudgetLeavesOverflowActive) {
+  std::stringstream in("# comment lines are ignored\n"
+                       "R1 r1_unordered_iteration.cpp 2\n");
+  const Baseline b = read_baseline(in);
+  auto fs = lint_fixture("r1_unordered_iteration.cpp");
+  const auto stale = apply_baseline(fs, b);
+  EXPECT_TRUE(stale.empty());
+  // First two findings (in stable order) absorbed, third stays active.
+  EXPECT_EQ(active(fs).size(), 1u);
+  EXPECT_EQ(active(fs)[0].line, 34);
+}
+
+TEST(LintBaseline, EntryForCleanFileIsStale) {
+  std::stringstream in("R3 clean.cpp 1\n");
+  const Baseline b = read_baseline(in);
+  auto fs = lint_fixture("clean.cpp");
+  const auto stale = apply_baseline(fs, b);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "R3 clean.cpp have=0 budget=1");
+}
+
+TEST(LintOutput, JsonIsDeterministicAndCarriesSchema) {
+  const auto fs = lint_fixture("r2_ambient_entropy.cpp");
+  std::stringstream a, b;
+  write_json(a, fs, {}, 1);
+  write_json(b, fs, {}, 1);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical reruns
+  EXPECT_NE(a.str().find("\"schema\": \"rlftnoc-lint-v1\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"R2\""), std::string::npos);
+}
+
+TEST(LintRepoTree, CommittedBaselineIsTightAgainstTheRealTree) {
+  // Guard the burn-down: the committed baseline must stay empty (every
+  // historical finding was fixed or attested inline, not grandfathered).
+  std::ifstream in(std::string(RLFTNOC_LINT_REPO_ROOT) +
+                   "/tools/lint/baseline.txt");
+  ASSERT_TRUE(in.good());
+  const Baseline b = read_baseline(in);
+  EXPECT_TRUE(b.budget.empty())
+      << "tools/lint/baseline.txt grew; fix findings instead of baselining";
+}
+
+}  // namespace

@@ -99,11 +99,18 @@ TEST(Power, EventNamesAreDistinct) {
   }
 }
 
-TEST(Power, OutOfRangeRouterThrows) {
+// Out-of-range router indices are an RLFTNOC_CHECK invariant violation (the
+// record path runs per power event per cycle, so it uses unchecked indexing
+// with the always-on invariant layer instead of throwing .at()).
+#if RLFTNOC_CHECK_ENABLED
+using PowerDeathTest = ::testing::Test;
+
+TEST(PowerDeathTest, OutOfRangeRouterAborts) {
   PowerModel m(2);
-  EXPECT_THROW(m.record(5, PowerEvent::kCrossbar), std::out_of_range);
-  EXPECT_THROW(m.window_dynamic_energy_pj(-1), std::out_of_range);
+  EXPECT_DEATH(m.record(5, PowerEvent::kCrossbar), "RLFTNOC_CHECK failed");
+  EXPECT_DEATH(m.window_dynamic_energy_pj(-1), "RLFTNOC_CHECK failed");
 }
+#endif
 
 TEST(Power, PerFlitHopCostCalibration) {
   // One hop of a flit: buffer write + read + arbitration + crossbar + link.

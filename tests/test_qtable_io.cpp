@@ -34,14 +34,14 @@ TEST(QTableIo, RoundTripSingleTable) {
 
   EXPECT_EQ(back.size(), orig.size());
   EXPECT_DOUBLE_EQ(back.init_value(), 2.0);
-  for (const auto& [state, row] : orig) {
-    const QTable::Row* r = back.find(state);
+  for (const auto& [state, row] : orig.sorted_items()) {
+    const QTable::Row* r = back.find(*state);
     ASSERT_NE(r, nullptr);
     for (int a = 0; a < 4; ++a) {
       EXPECT_DOUBLE_EQ(r->q[static_cast<std::size_t>(a)],
-                       row.q[static_cast<std::size_t>(a)]);
+                       row->q[static_cast<std::size_t>(a)]);
       EXPECT_EQ(r->visits[static_cast<std::size_t>(a)],
-                row.visits[static_cast<std::size_t>(a)]);
+                row->visits[static_cast<std::size_t>(a)]);
     }
   }
 }

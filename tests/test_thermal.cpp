@@ -105,11 +105,18 @@ TEST(Thermal, SettleReportsConvergence) {
   EXPECT_GT(steps, 1);
 }
 
-TEST(Thermal, OutOfRangeNodeThrows) {
+// Out-of-range nodes are an RLFTNOC_CHECK invariant violation (checked-index
+// accessors were converted from throwing .at() to the always-on invariant
+// layer, matching the rest of the per-cycle surfaces).
+#if RLFTNOC_CHECK_ENABLED
+using ThermalDeathTest = ::testing::Test;
+
+TEST(ThermalDeathTest, OutOfRangeNodeAborts) {
   ThermalGrid g(2, 2);
-  EXPECT_THROW(g.temperature(4), std::out_of_range);
-  EXPECT_THROW(g.set_power(-1, 1.0), std::out_of_range);
+  EXPECT_DEATH(g.temperature(4), "RLFTNOC_CHECK failed");
+  EXPECT_DEATH(g.set_power(-1, 1.0), "RLFTNOC_CHECK failed");
 }
+#endif
 
 /// Steady-state superposition sanity on a larger grid: doubling all power
 /// doubles the rise over ambient (the RC network is linear).

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Shared first-party file enumerator for the static-analysis drivers
+# (tools/run_tidy.sh, tools/run_lint.sh, tools/run_cppcheck.sh). One place
+# decides what "first-party sources" means so the tools cannot drift apart.
+#
+# Usage:
+#   tools/changed_files.sh [--ext cpp|header|all] [--base <git-ref>] dir...
+#
+#   dir...        repo-relative directories to enumerate (e.g. src apps)
+#   --ext cpp     only *.cpp (default)
+#   --ext header  only *.h
+#   --ext all     *.cpp and *.h
+#   --base REF    restrict to files changed since REF (git diff + untracked);
+#                 falls back to the full listing when git cannot answer
+#
+# Output: newline-delimited repo-relative paths, LC_ALL=C sorted, no
+# duplicates. Exit 0 even when the list is empty (callers decide whether an
+# empty list is an error); exit 2 on usage errors.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+ext="cpp"
+base=""
+dirs=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --ext)
+      [ $# -ge 2 ] || { echo "changed_files.sh: --ext needs a value" >&2; exit 2; }
+      ext="$2"; shift 2 ;;
+    --base)
+      [ $# -ge 2 ] || { echo "changed_files.sh: --base needs a ref" >&2; exit 2; }
+      base="$2"; shift 2 ;;
+    --*)
+      echo "changed_files.sh: unknown option $1" >&2; exit 2 ;;
+    *)
+      dirs+=("$1"); shift ;;
+  esac
+done
+
+if [ "${#dirs[@]}" -eq 0 ]; then
+  echo "changed_files.sh: no directories given" >&2
+  exit 2
+fi
+
+case "$ext" in
+  cpp)    name_expr=(-name '*.cpp') ;;
+  header) name_expr=(-name '*.h') ;;
+  all)    name_expr=(\( -name '*.cpp' -o -name '*.h' \)) ;;
+  *)      echo "changed_files.sh: bad --ext '$ext' (cpp|header|all)" >&2; exit 2 ;;
+esac
+
+# Full listing: every matching file under the requested dirs, repo-relative.
+list_all() {
+  (cd "$repo_root" && find "${dirs[@]}" "${name_expr[@]}" 2>/dev/null) || true
+}
+
+if [ -z "$base" ]; then
+  list_all | LC_ALL=C sort -u
+  exit 0
+fi
+
+# Changed-only listing: committed changes since the merge base plus any
+# uncommitted/untracked files, intersected with the full listing so the
+# dir/extension filter still applies. If git cannot resolve the ref (shallow
+# clone, detached state), degrade to the full listing rather than silently
+# checking nothing.
+if ! git -C "$repo_root" rev-parse --verify --quiet "$base" >/dev/null; then
+  echo "changed_files.sh: ref '$base' not resolvable; listing all files" >&2
+  list_all | LC_ALL=C sort -u
+  exit 0
+fi
+
+{
+  git -C "$repo_root" diff --name-only --diff-filter=d "$base" -- "${dirs[@]}"
+  git -C "$repo_root" ls-files --others --exclude-standard -- "${dirs[@]}"
+} | LC_ALL=C sort -u > /tmp/changed_files.$$ || true
+
+list_all | LC_ALL=C sort -u | comm -12 - /tmp/changed_files.$$
+rm -f /tmp/changed_files.$$

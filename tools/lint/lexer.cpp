@@ -1,0 +1,178 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace rlftnoc::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators the rules care about being atomic. Longest
+/// match first within each leading character.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  ".*",
+};
+
+}  // namespace
+
+LexedFile tokenize(std::string_view src) {
+  LexedFile out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  std::size_t line_start = 0;
+  bool code_on_line = false;
+
+  auto col_of = [&](std::size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
+  };
+  auto newline = [&](std::size_t pos_after_nl) {
+    ++line;
+    line_start = pos_after_nl;
+    code_on_line = false;
+  };
+  auto push = [&](TokKind k, std::string text, std::size_t pos) {
+    out.tokens.push_back(Token{k, std::move(text), line, col_of(pos)});
+    code_on_line = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++i;
+      newline(i);
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line continuation.
+    if (c == '\\' && i + 1 < n && (src[i + 1] == '\n' || src[i + 1] == '\r')) {
+      i += src[i + 1] == '\r' && i + 2 < n && src[i + 2] == '\n' ? 3 : 2;
+      newline(i);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      std::size_t end = start;
+      while (end < n && src[end] != '\n') ++end;
+      out.comments.push_back(CommentLine{
+          std::string(src.substr(start, end - start)), line, code_on_line});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t p = i + 2;
+      std::size_t seg_start = p;
+      bool first = true;
+      while (p + 1 < n && !(src[p] == '*' && src[p + 1] == '/')) {
+        if (src[p] == '\n') {
+          out.comments.push_back(
+              CommentLine{std::string(src.substr(seg_start, p - seg_start)),
+                          line, first && code_on_line});
+          first = false;
+          ++p;
+          newline(p);
+          seg_start = p;
+        } else {
+          ++p;
+        }
+      }
+      const std::size_t seg_end = p < n ? p : n;
+      out.comments.push_back(
+          CommentLine{std::string(src.substr(seg_start, seg_end - seg_start)),
+                      line, first && code_on_line});
+      i = p + 1 < n ? p + 2 : n;
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(' && src[p] != '\n' && delim.size() < 16) {
+        delim.push_back(src[p]);
+        ++p;
+      }
+      if (p < n && src[p] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body = p + 1;
+        const std::size_t close = src.find(closer, body);
+        const std::size_t end = close == std::string_view::npos
+                                    ? n
+                                    : close + closer.size();
+        push(TokKind::String, std::string(src.substr(i, end - i)), i);
+        // Keep line numbers accurate across the raw string body.
+        for (std::size_t q = i; q < end; ++q) {
+          if (src[q] == '\n') newline(q + 1);
+        }
+        i = end;
+        continue;
+      }
+      // 'R' not followed by a raw string: fall through as identifier.
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        if (src[p] == '\n') break;  // unterminated; don't eat the file
+        ++p;
+      }
+      const std::size_t end = p < n && src[p] == quote ? p + 1 : p;
+      push(quote == '"' ? TokKind::String : TokKind::CharLit,
+           std::string(src.substr(i + 1, end - i - (end > i + 1 ? 2 : 1))), i);
+      i = end;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t p = i + 1;
+      while (p < n && is_ident_cont(src[p])) ++p;
+      push(TokKind::Ident, std::string(src.substr(i, p - i)), i);
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t p = i + 1;
+      while (p < n && (is_ident_cont(src[p]) || src[p] == '.' ||
+                       ((src[p] == '+' || src[p] == '-') &&
+                        (src[p - 1] == 'e' || src[p - 1] == 'E' ||
+                         src[p - 1] == 'p' || src[p - 1] == 'P')))) {
+        ++p;
+      }
+      push(TokKind::Number, std::string(src.substr(i, p - i)), i);
+      i = p;
+      continue;
+    }
+    // Punctuation: longest multi-char operator wins.
+    bool matched = false;
+    for (const char* op : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (src.compare(i, len, op) == 0) {
+        push(TokKind::Punct, op, i);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokKind::Punct, std::string(1, c), i);
+      ++i;
+    }
+  }
+  out.last_line = line;
+  out.tokens.push_back(Token{TokKind::End, "", line, col_of(i)});
+  return out;
+}
+
+}  // namespace rlftnoc::lint

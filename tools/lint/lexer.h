@@ -1,0 +1,51 @@
+// Minimal C++ tokenizer for rlftnoc_lint.
+//
+// This is deliberately NOT a real C++ front end: the project's lint rules
+// (see rules.cpp) only need identifier/punctuator streams with accurate line
+// numbers, plus the comment text for suppression directives. No preprocessing
+// is performed — macros appear as the identifiers they are spelled with,
+// which is exactly what the rules want (RLFTNOC_CHECK vs assert is a spelling
+// distinction).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlftnoc::lint {
+
+enum class TokKind {
+  Ident,    // identifiers and keywords (no distinction needed)
+  Number,   // numeric literals, including ud-suffixes
+  String,   // "..." and R"(...)" (text excludes quotes for ordinary strings)
+  CharLit,  // '...'
+  Punct,    // operators/punctuation; multi-char ops are single tokens
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+};
+
+/// A comment with its location; `text` excludes the comment markers.
+/// Block comments spanning multiple lines produce one entry per line so
+/// per-line directives (suppressions) stay line-accurate.
+struct CommentLine {
+  std::string text;
+  int line = 0;
+  bool trailing_code = false;  // true when code precedes the comment on its line
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;       // comments excluded, End-terminated
+  std::vector<CommentLine> comments;
+  int last_line = 0;
+};
+
+/// Tokenizes `source`. Never fails: malformed input degrades to Punct tokens.
+LexedFile tokenize(std::string_view source);
+
+}  // namespace rlftnoc::lint

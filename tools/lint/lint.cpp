@@ -1,0 +1,209 @@
+// Driver layer for rlftnoc_lint: file discovery, sibling-header pairing,
+// baseline bookkeeping and report serialization. All output is emitted in
+// finding_order so reruns are byte-identical.
+
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlftnoc::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("rlftnoc_lint: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+fs::path root_path(const LintConfig& cfg) {
+  return cfg.repo_root.empty() ? fs::path(".") : fs::path(cfg.repo_root);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> discover_files(const LintConfig& cfg) {
+  std::vector<std::string> files;
+  const fs::path root = root_path(cfg);
+  for (const std::string& dir : cfg.scan_dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".hpp" && ext != ".cc") {
+        continue;
+      }
+      files.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_file(const std::string& rel_path,
+                               const LintConfig& cfg) {
+  const fs::path root = root_path(cfg);
+  const fs::path full = root / rel_path;
+  const std::string source = slurp(full);
+  std::string sibling;
+  if (full.extension() == ".cpp") {
+    fs::path hdr = full;
+    hdr.replace_extension(".h");
+    if (fs::exists(hdr)) sibling = slurp(hdr);
+  }
+  return lint_source(rel_path, source, cfg, sibling);
+}
+
+Baseline read_baseline(std::istream& in) {
+  Baseline b;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string rule;
+    std::string path;
+    int count = 0;
+    if (!(ss >> rule)) continue;  // blank
+    if (!(ss >> path >> count) || count <= 0) {
+      throw std::runtime_error(
+          "rlftnoc_lint: bad baseline line " + std::to_string(lineno) +
+          ": expected 'RULE PATH COUNT'");
+    }
+    b.budget[{rule, path}] += count;
+  }
+  return b;
+}
+
+Baseline read_baseline_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("rlftnoc_lint: cannot read baseline " + path);
+  }
+  return read_baseline(in);
+}
+
+void write_baseline(std::ostream& out, const std::vector<Finding>& findings) {
+  out << "# rlftnoc_lint baseline — grandfathered findings, one\n"
+         "# 'RULE PATH COUNT' per (rule, file). This file must only ever\n"
+         "# shrink: CI runs with --require-tight-baseline, so fixing a\n"
+         "# violation forces the matching budget down in the same commit.\n";
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : findings) {
+    if (f.suppressed || f.rule == "R0") continue;
+    ++counts[{f.rule, f.path}];
+  }
+  for (const auto& [key, n] : counts) {
+    out << key.first << ' ' << key.second << ' ' << n << '\n';
+  }
+}
+
+std::vector<std::string> apply_baseline(std::vector<Finding>& findings,
+                                        const Baseline& b) {
+  std::sort(findings.begin(), findings.end(), finding_order);
+  std::map<std::pair<std::string, std::string>, int> used;
+  for (Finding& f : findings) {
+    if (f.suppressed || f.rule == "R0") continue;
+    const auto it = b.budget.find({f.rule, f.path});
+    if (it == b.budget.end()) continue;
+    if (used[{f.rule, f.path}] < it->second) {
+      ++used[{f.rule, f.path}];
+      f.baselined = true;
+    }
+  }
+  std::vector<std::string> stale;
+  for (const auto& [key, budget] : b.budget) {
+    const auto it = used.find(key);
+    const int have = it == used.end() ? 0 : it->second;
+    if (have < budget) {
+      stale.push_back(key.first + " " + key.second + " have=" +
+                      std::to_string(have) + " budget=" +
+                      std::to_string(budget));
+    }
+  }
+  return stale;
+}
+
+void write_json(std::ostream& out, const std::vector<Finding>& findings,
+                const std::vector<std::string>& stale,
+                std::size_t files_scanned) {
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  std::size_t active = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) ++suppressed;
+    else if (f.baselined) ++baselined;
+    else ++active;
+  }
+  out << "{\n  \"schema\": \"rlftnoc-lint-v1\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  out << "  \"total_findings\": " << findings.size() << ",\n";
+  out << "  \"suppressed\": " << suppressed << ",\n";
+  out << "  \"baselined\": " << baselined << ",\n";
+  out << "  \"active\": " << active << ",\n";
+  out << "  \"stale_baseline_entries\": [";
+  for (std::size_t i = 0; i < stale.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << json_escape(stale[i]) << '"';
+  }
+  out << "],\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"path\": \""
+        << json_escape(f.path) << "\", \"line\": " << f.line
+        << ", \"col\": " << f.col << ", \"suppressed\": "
+        << (f.suppressed ? "true" : "false") << ", \"baselined\": "
+        << (f.baselined ? "true" : "false") << ", \"message\": \""
+        << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+void write_text(std::ostream& out, const std::vector<Finding>& findings,
+                bool verbose) {
+  for (const Finding& f : findings) {
+    if (!verbose && (f.suppressed || f.baselined)) continue;
+    out << f.path << ':' << f.line << ':' << f.col << ": " << f.rule;
+    if (f.suppressed) out << " [suppressed]";
+    if (f.baselined) out << " [baselined]";
+    out << ": " << f.message << '\n';
+  }
+}
+
+}  // namespace rlftnoc::lint

@@ -1,0 +1,182 @@
+// rlftnoc_lint CLI. See lint.h for the rule set and directives.
+//
+// Usage:
+//   rlftnoc_lint [options] [files...]
+//
+// With no file arguments, scans src/, apps/ and bench/ under --repo-root.
+// Exit status: 0 clean, 1 findings (or stale baseline under
+// --require-tight-baseline), 2 usage/environment error.
+//
+// Options:
+//   --repo-root DIR            repository root (default: cwd)
+//   --baseline FILE            absorb grandfathered findings from FILE
+//   --update-baseline FILE     rewrite FILE from the current findings
+//   --require-tight-baseline   fail if any baseline budget is no longer used
+//   --json FILE                write the machine-readable report to FILE
+//   --verbose                  also print suppressed/baselined findings
+//   --list-rules               print the rule catalogue and exit
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+using rlftnoc::lint::Baseline;
+using rlftnoc::lint::Finding;
+using rlftnoc::lint::LintConfig;
+
+constexpr const char* kRuleCatalogue =
+    "R1 no-unordered-iteration   iterating std::unordered_{map,set} in\n"
+    "                            determinism-critical dirs (src/noc, src/sim,\n"
+    "                            src/telemetry, src/rl, src/dt)\n"
+    "R2 no-ambient-entropy       random_device/rand/time()/chrono clocks\n"
+    "                            outside src/common/rng.*\n"
+    "R3 no-bare-assert           assert() must be RLFTNOC_CHECK\n"
+    "R4 hot-path-container-bans  std::deque/map/list and throwing .at() in\n"
+    "                            per-cycle step-path files\n"
+    "R5 float-accumulation-order float/double += in range-for bodies needs a\n"
+    "                            `// rlftnoc-lint: ordered` attestation\n"
+    "\n"
+    "directives (in comments):\n"
+    "  rlftnoc-lint: allow(R1,R2) <reason>   suppress on this + next line\n"
+    "  rlftnoc-lint: ordered                 R5 attestation\n"
+    "  rlftnoc-lint: hot-path                mark file as per-cycle path\n"
+    "  rlftnoc-lint: determinism-critical    opt file into R1/R5 scope\n";
+
+int usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "rlftnoc_lint: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: rlftnoc_lint [--repo-root DIR] [--baseline FILE] "
+               "[--update-baseline FILE]\n"
+               "                    [--require-tight-baseline] [--json FILE] "
+               "[--verbose] [--list-rules] [files...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintConfig cfg;
+  std::string baseline_path;
+  std::string update_baseline_path;
+  std::string json_path;
+  bool require_tight = false;
+  bool verbose = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--repo-root") {
+      const char* v = value();
+      if (v == nullptr) return usage("--repo-root needs a value");
+      cfg.repo_root = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage("--baseline needs a value");
+      baseline_path = v;
+    } else if (arg == "--update-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage("--update-baseline needs a value");
+      update_baseline_path = v;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return usage("--json needs a value");
+      json_path = v;
+    } else if (arg == "--require-tight-baseline") {
+      require_tight = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--list-rules") {
+      std::fputs(kRuleCatalogue, stdout);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(nullptr);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(("unknown option " + arg).c_str());
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    if (files.empty()) files = rlftnoc::lint::discover_files(cfg);
+    if (files.empty()) return usage("no files to lint");
+
+    std::vector<Finding> findings;
+    for (const std::string& f : files) {
+      std::vector<Finding> one = rlftnoc::lint::lint_file(f, cfg);
+      findings.insert(findings.end(), one.begin(), one.end());
+    }
+
+    std::vector<std::string> stale;
+    if (!baseline_path.empty()) {
+      const Baseline b = rlftnoc::lint::read_baseline_file(baseline_path);
+      stale = rlftnoc::lint::apply_baseline(findings, b);
+    } else {
+      std::sort(findings.begin(), findings.end(),
+                rlftnoc::lint::finding_order);
+    }
+
+    if (!update_baseline_path.empty()) {
+      std::ofstream out(update_baseline_path);
+      if (!out) {
+        std::fprintf(stderr, "rlftnoc_lint: cannot write %s\n",
+                     update_baseline_path.c_str());
+        return 2;
+      }
+      rlftnoc::lint::write_baseline(out, findings);
+      std::fprintf(stderr, "rlftnoc_lint: baseline written to %s\n",
+                   update_baseline_path.c_str());
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "rlftnoc_lint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      rlftnoc::lint::write_json(out, findings, stale, files.size());
+    }
+
+    rlftnoc::lint::write_text(std::cout, findings, verbose);
+
+    std::size_t active = 0;
+    std::size_t suppressed = 0;
+    for (const Finding& f : findings) {
+      if (f.suppressed) ++suppressed;
+      else if (!f.baselined) ++active;
+    }
+    std::fprintf(stderr,
+                 "rlftnoc_lint: %zu files, %zu findings "
+                 "(%zu active, %zu baselined, %zu suppressed)\n",
+                 files.size(), findings.size(), active,
+                 findings.size() - active - suppressed, suppressed);
+
+    if (require_tight && !stale.empty()) {
+      for (const std::string& s : stale) {
+        std::fprintf(stderr,
+                     "rlftnoc_lint: stale baseline entry (%s) — the "
+                     "baseline must shrink when findings are fixed\n",
+                     s.c_str());
+      }
+      return 1;
+    }
+    return active == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rlftnoc_lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,541 @@
+// Rule implementations for rlftnoc_lint (see lint.h for the rule list).
+//
+// Everything here works on the token stream from lexer.h plus a handful of
+// per-file "lightweight parse" passes: declaration collection (which
+// variables are unordered containers / floating-point accumulators), loop
+// extent detection (range-for headers and body line ranges), and comment
+// directive parsing. That is deliberately far short of a C++ front end —
+// the rules are spelled so that lexical evidence is sufficient, and the
+// known blind spots (cross-file type inference beyond the sibling header)
+// are documented in DESIGN.md.
+//
+// The linter dogfoods its own rules: ordered containers only, no ambient
+// entropy, deterministic output byte-for-byte.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace rlftnoc::lint {
+namespace {
+
+const std::set<std::string>& unordered_type_names() {
+  static const std::set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "flat_hash_map", "flat_hash_set"};
+  return kNames;
+}
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::Ident && t.text == s;
+}
+
+/// Skips a balanced <...> starting at tokens[i] == "<"; returns the index
+/// just past the closing ">". ">>" closes two levels. Returns i on failure.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  if (!is_punct(toks[i], "<")) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::End) break;
+    if (is_punct(t, "<")) ++depth;
+    else if (is_punct(t, "<<")) depth += 2;
+    else if (is_punct(t, ">")) --depth;
+    else if (is_punct(t, ">>")) depth -= 2;
+    else if (is_punct(t, ";")) break;  // never spans statements
+    if (depth <= 0) return j + 1;
+  }
+  return i;
+}
+
+/// Skips a balanced bracket pair backwards: tokens[i] is the closer;
+/// returns the index of the matching opener, or i if unbalanced.
+std::size_t skip_back(const std::vector<Token>& toks, std::size_t i,
+                      const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (is_punct(toks[j], close)) ++depth;
+    else if (is_punct(toks[j], open)) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return i;
+}
+
+struct Decls {
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_aliases;  // using X = std::unordered_map<..>
+  std::set<std::string> float_vars;
+};
+
+/// Records variable names declared right after a type at `j` (the token past
+/// the type, its template args and any cv/ref/ptr decoration).
+void take_declarators(const std::vector<Token>& toks, std::size_t j,
+                      std::set<std::string>& out) {
+  while (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+         is_ident(toks[j], "const") || is_punct(toks[j], "&&")) {
+    ++j;
+  }
+  if (toks[j].kind != TokKind::Ident) return;
+  const std::string& name = toks[j].text;
+  const Token& after = toks[j + 1];
+  // `name(` is a function declaration/call, not a variable.
+  if (is_punct(after, ";") || is_punct(after, "=") || is_punct(after, "{") ||
+      is_punct(after, ",") || is_punct(after, ")") || is_punct(after, "[")) {
+    out.insert(name);
+    // Comma chains: `T a, b;`
+    std::size_t k = j + 1;
+    while (is_punct(toks[k], ",") && toks[k + 1].kind == TokKind::Ident &&
+           (is_punct(toks[k + 2], ";") || is_punct(toks[k + 2], ",") ||
+            is_punct(toks[k + 2], "=") || is_punct(toks[k + 2], "{"))) {
+      out.insert(toks[k + 1].text);
+      k += 2;
+      while (!is_punct(toks[k], ",") && !is_punct(toks[k], ";") &&
+             toks[k].kind != TokKind::End) {
+        ++k;
+      }
+    }
+  }
+}
+
+Decls collect_decls(const LexedFile& lex) {
+  Decls d;
+  const std::vector<Token>& toks = lex.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Ident) continue;
+    if (unordered_type_names().count(t.text) != 0) {
+      // `using Alias = std::unordered_map<...>`?
+      std::size_t type_start = i;
+      if (i >= 2 && is_punct(toks[i - 1], "::") &&
+          toks[i - 2].kind == TokKind::Ident) {
+        type_start = i - 2;
+      }
+      if (type_start >= 2 && is_punct(toks[type_start - 1], "=") &&
+          toks[type_start - 2].kind == TokKind::Ident && type_start >= 3 &&
+          is_ident(toks[type_start - 3], "using")) {
+        d.unordered_aliases.insert(toks[type_start - 2].text);
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (is_punct(toks[j], "<")) j = skip_angles(toks, j);
+      take_declarators(toks, j, d.unordered_vars);
+    } else if (t.text == "double" || t.text == "float") {
+      take_declarators(toks, i + 1, d.float_vars);
+    }
+  }
+  // Second pass: declarations whose type is a recorded unordered alias.
+  if (!d.unordered_aliases.empty()) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::Ident &&
+          d.unordered_aliases.count(toks[i].text) != 0 &&
+          !is_punct(toks[i + 1], "=")) {
+        take_declarators(toks, i + 1, d.unordered_vars);
+      }
+    }
+  }
+  return d;
+}
+
+// -- directives -----------------------------------------------------------
+
+struct Directives {
+  /// line -> rules inline-allowed there (directive covers its own line and
+  /// the next, so a comment-above and a trailing comment both work).
+  std::map<int, std::set<std::string>> allows;
+  std::map<int, std::string> allow_reasons;  // first reason per line, for JSON
+  std::set<int> ordered_lines;               // R5 attestation coverage
+  bool hot_path = false;
+  bool determinism_critical = false;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+Directives parse_directives(const LexedFile& lex, const std::string& path,
+                            std::vector<Finding>& findings) {
+  Directives d;
+  const std::set<std::string> kRules = {"R1", "R2", "R3", "R4", "R5"};
+  for (const CommentLine& c : lex.comments) {
+    const std::size_t pos = c.text.find("rlftnoc-lint:");
+    if (pos == std::string::npos) continue;
+    const std::string body = trim(c.text.substr(pos + 13));
+    auto bad = [&](const std::string& why) {
+      findings.push_back(Finding{"R0", path, c.line, 1,
+                                 "malformed rlftnoc-lint directive (" + why +
+                                     "): '" + body + "'"});
+    };
+    if (body.rfind("allow(", 0) == 0) {
+      const std::size_t close = body.find(')');
+      if (close == std::string::npos) {
+        bad("unclosed allow(");
+        continue;
+      }
+      const std::string reason = trim(body.substr(close + 1));
+      if (reason.empty()) {
+        bad("allow() requires a reason");
+        continue;
+      }
+      std::string rules = body.substr(6, close - 6);
+      bool ok = true;
+      std::set<std::string> parsed;
+      std::size_t start = 0;
+      while (start <= rules.size()) {
+        std::size_t comma = rules.find(',', start);
+        const std::string r =
+            trim(rules.substr(start, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - start));
+        if (kRules.count(r) == 0) {
+          ok = false;
+          break;
+        }
+        parsed.insert(r);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (!ok || parsed.empty()) {
+        bad("unknown rule id");
+        continue;
+      }
+      for (const std::string& r : parsed) {
+        d.allows[c.line].insert(r);
+        d.allows[c.line + 1].insert(r);
+      }
+      d.allow_reasons.emplace(c.line, reason);
+      d.allow_reasons.emplace(c.line + 1, reason);
+    } else if (body == "ordered" || body.rfind("ordered ", 0) == 0 ||
+               body.rfind("ordered(", 0) == 0) {
+      d.ordered_lines.insert(c.line);
+      d.ordered_lines.insert(c.line + 1);
+    } else if (body == "hot-path" || body.rfind("hot-path ", 0) == 0 ||
+               body.rfind("hot-path(", 0) == 0) {
+      d.hot_path = true;
+    } else if (body == "determinism-critical" ||
+               body.rfind("determinism-critical ", 0) == 0 ||
+               body.rfind("determinism-critical(", 0) == 0) {
+      d.determinism_critical = true;
+    } else {
+      bad("unknown directive");
+    }
+  }
+  return d;
+}
+
+// -- loop extents ---------------------------------------------------------
+
+struct RangeLoop {
+  int header_line = 0;
+  int body_first_line = 0;
+  int body_last_line = 0;
+  std::size_t range_begin = 0;  // token span of the expression after ':'
+  std::size_t range_end = 0;
+};
+
+std::vector<RangeLoop> find_range_loops(const std::vector<Token>& toks) {
+  std::vector<RangeLoop> loops;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    // Find the matching ')'.
+    int depth = 0;
+    std::size_t close = 0;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::End) break;
+      if (is_punct(toks[j], "(")) ++depth;
+      else if (is_punct(toks[j], ")")) {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (depth == 1 && colon == 0 && is_punct(toks[j], ":")) {
+        colon = j;
+      }
+    }
+    if (close == 0 || colon == 0) continue;  // classic for or unbalanced
+    RangeLoop loop;
+    loop.header_line = toks[i].line;
+    loop.range_begin = colon + 1;
+    loop.range_end = close;
+    // Body: `{...}` or a single statement up to ';'.
+    std::size_t b = close + 1;
+    if (is_punct(toks[b], "{")) {
+      int bd = 0;
+      std::size_t j = b;
+      for (; j < toks.size() && toks[j].kind != TokKind::End; ++j) {
+        if (is_punct(toks[j], "{")) ++bd;
+        else if (is_punct(toks[j], "}")) {
+          --bd;
+          if (bd == 0) break;
+        }
+      }
+      loop.body_first_line = toks[b].line;
+      loop.body_last_line = toks[j < toks.size() ? j : toks.size() - 1].line;
+    } else {
+      std::size_t j = b;
+      int pd = 0;
+      for (; j < toks.size() && toks[j].kind != TokKind::End; ++j) {
+        if (is_punct(toks[j], "(") || is_punct(toks[j], "[")) ++pd;
+        else if (is_punct(toks[j], ")") || is_punct(toks[j], "]")) --pd;
+        else if (pd == 0 && is_punct(toks[j], ";")) break;
+      }
+      loop.body_first_line = toks[b].line;
+      loop.body_last_line = toks[j < toks.size() ? j : toks.size() - 1].line;
+    }
+    loops.push_back(loop);
+  }
+  return loops;
+}
+
+// -- scoping --------------------------------------------------------------
+
+bool under_any(const std::string& path, const std::vector<std::string>& dirs) {
+  for (const std::string& d : dirs) {
+    if (path == d) return true;
+    if (path.size() > d.size() && path.compare(0, d.size(), d) == 0 &&
+        path[d.size()] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool listed(const std::string& path, const std::vector<std::string>& files) {
+  return std::find(files.begin(), files.end(), path) != files.end();
+}
+
+}  // namespace
+
+bool finding_order(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.col != b.col) return a.col < b.col;
+  return a.rule < b.rule;
+}
+
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& source,
+                                 const LintConfig& cfg,
+                                 const std::string& sibling_header_source) {
+  const LexedFile lex = tokenize(source);
+  const std::vector<Token>& toks = lex.tokens;
+
+  std::vector<Finding> findings;
+  const Directives dir = parse_directives(lex, rel_path, findings);
+
+  Decls decls = collect_decls(lex);
+  if (!sibling_header_source.empty()) {
+    const Decls hdr = collect_decls(tokenize(sibling_header_source));
+    decls.unordered_vars.insert(hdr.unordered_vars.begin(),
+                                hdr.unordered_vars.end());
+    decls.unordered_aliases.insert(hdr.unordered_aliases.begin(),
+                                   hdr.unordered_aliases.end());
+    decls.float_vars.insert(hdr.float_vars.begin(), hdr.float_vars.end());
+  }
+
+  const bool determinism = dir.determinism_critical ||
+                           under_any(rel_path, cfg.determinism_dirs);
+  const bool hot = dir.hot_path || listed(rel_path, cfg.hot_path_files);
+  const bool entropy_exempt = listed(rel_path, cfg.entropy_allow_files);
+
+  auto is_unordered_name = [&](const std::string& name) {
+    return decls.unordered_vars.count(name) != 0 ||
+           decls.unordered_aliases.count(name) != 0 ||
+           unordered_type_names().count(name) != 0;
+  };
+
+  // Dedup per (rule, line): several token patterns can hit the same loop.
+  std::set<std::pair<std::string, int>> emitted;
+  auto emit = [&](const char* rule, int line, int col, std::string msg) {
+    if (!emitted.insert({rule, line}).second) return;
+    findings.push_back(Finding{rule, rel_path, line, col, std::move(msg)});
+  };
+
+  const std::vector<RangeLoop> loops = find_range_loops(toks);
+
+  // R1: range-for over an unordered container.
+  if (determinism) {
+    for (const RangeLoop& loop : loops) {
+      for (std::size_t j = loop.range_begin; j < loop.range_end; ++j) {
+        if (toks[j].kind == TokKind::Ident && is_unordered_name(toks[j].text)) {
+          emit("R1", loop.header_line, toks[j].col,
+               "range-for over unordered container '" + toks[j].text +
+                   "': iteration order is hash/insertion-dependent and can "
+                   "reach results or telemetry bytes; iterate a sorted key "
+                   "snapshot or an index-keyed structure instead");
+          break;
+        }
+      }
+    }
+    // R1: explicit iterator surface — `x.begin()` / `x.cbegin()` on an
+    // unordered variable (classic iterator loops, and accessors that leak
+    // unordered iteration to callers).
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::Ident &&
+          decls.unordered_vars.count(toks[i].text) != 0 &&
+          (is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+          (is_ident(toks[i + 2], "begin") || is_ident(toks[i + 2], "cbegin"))) {
+        emit("R1", toks[i].line, toks[i].col,
+             "iterator obtained from unordered container '" + toks[i].text +
+                 "': hash-order traversal is not deterministic across "
+                 "library versions or insertion histories");
+      }
+    }
+  }
+
+  // R2: ambient entropy / wall-clock outside the seeded Rng layer.
+  if (!entropy_exempt) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Ident) continue;
+      const Token& prev = i > 0 ? toks[i - 1] : toks[0];
+      const bool std_qualified =
+          i >= 2 && is_punct(prev, "::") && is_ident(toks[i - 2], "std");
+      const bool member_access = is_punct(prev, ".") || is_punct(prev, "->") ||
+                                 (is_punct(prev, "::") && !std_qualified);
+      auto hit = [&](const char* what) {
+        emit("R2", t.line, t.col,
+             std::string(what) +
+                 ": ambient entropy/wall-clock breaks bit-reproducibility; "
+                 "derive all randomness from the run seed via rlftnoc::Rng "
+                 "(src/common/rng.h) and keep wall time out of results");
+      };
+      if (t.text == "random_device") {
+        hit("std::random_device");
+      } else if ((t.text == "rand" || t.text == "srand") &&
+                 (std_qualified ||
+                  (!member_access && is_punct(toks[i + 1], "(")))) {
+        hit("rand()/srand()");
+      } else if (t.text == "time" &&
+                 (std_qualified ||
+                  (!member_access && is_punct(toks[i + 1], "(")))) {
+        hit("time()");
+      } else if (t.text == "system_clock" || t.text == "steady_clock" ||
+                 t.text == "high_resolution_clock") {
+        if (!is_punct(prev, ".") && !is_punct(prev, "->")) {
+          hit(("std::chrono::" + t.text).c_str());
+        }
+      } else if (t.text == "clock" && std_qualified) {
+        hit("std::clock()");
+      }
+    }
+  }
+
+  // R3: bare assert — vanishes under NDEBUG, exactly the release/campaign
+  // configuration where the invariants matter. RLFTNOC_CHECK is always-on.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_ident(toks[i], "assert") && is_punct(toks[i + 1], "(") &&
+        !(i > 0 && is_punct(toks[i - 1], "#"))) {
+      emit("R3", toks[i].line, toks[i].col,
+           "bare assert() compiles out under NDEBUG; use RLFTNOC_CHECK "
+           "(src/common/check.h), which stays live in sanitizer/Debug "
+           "builds and becomes an optimizer hint in release");
+    }
+    if (is_punct(toks[i], "#") && is_ident(toks[i + 1], "include") &&
+        i + 3 < toks.size() && is_punct(toks[i + 2], "<") &&
+        (is_ident(toks[i + 3], "cassert") || is_ident(toks[i + 3], "assert"))) {
+      emit("R3", toks[i].line, toks[i].col,
+           "#include <cassert>: this project uses RLFTNOC_CHECK "
+           "(src/common/check.h) instead of assert");
+    }
+  }
+
+  // R4: hot-path container discipline (per-cycle step path only).
+  if (hot) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Ident) continue;
+      const bool banned_type = t.text == "deque" || t.text == "list" ||
+                               t.text == "map" || t.text == "multimap";
+      if (banned_type && i >= 2 && is_punct(toks[i - 1], "::") &&
+          is_ident(toks[i - 2], "std")) {
+        emit("R4", t.line, t.col,
+             "std::" + t.text +
+                 " on the per-cycle step path: node-allocating containers "
+                 "were purged in the hot-path overhaul; use RingBuffer, "
+                 "RetentionTable or a flat vector (see "
+                 "src/common/ring_buffer.h)");
+      }
+      if ((t.text == "deque" || t.text == "list" || t.text == "map") &&
+          i >= 2 && is_punct(toks[i - 1], "<") &&
+          is_ident(toks[i - 2], "include")) {
+        emit("R4", t.line, t.col,
+             "#include <" + t.text + "> in a hot-path file");
+      }
+      if (t.text == "at" && i > 0 &&
+          (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+          is_punct(toks[i + 1], "(")) {
+        emit("R4", t.line, t.col,
+             ".at() on the per-cycle step path throws and carries a bounds "
+             "branch the optimizer cannot elide; use unchecked indexing "
+             "guarded by RLFTNOC_CHECK");
+      }
+    }
+  }
+
+  // R5: floating-point accumulation inside range-for bodies must attest
+  // iteration order (`// rlftnoc-lint: ordered`): FP addition is not
+  // associative, so accumulation order IS the result.
+  if (determinism) {
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      if (!is_punct(toks[i], "+=")) continue;
+      const int line = toks[i].line;
+      const RangeLoop* in_loop = nullptr;
+      for (const RangeLoop& loop : loops) {
+        if (line >= loop.body_first_line && line <= loop.body_last_line) {
+          in_loop = &loop;
+          break;
+        }
+      }
+      if (in_loop == nullptr) continue;
+      // LHS identifier: walk back over one trailing index/call suffix.
+      std::size_t j = i - 1;
+      if (is_punct(toks[j], "]")) j = skip_back(toks, j, "[", "]");
+      if (j > 0 && is_punct(toks[j], ")")) j = skip_back(toks, j, "(", ")");
+      if (j > 0 && (is_punct(toks[j], "]") || is_punct(toks[j], ")"))) {
+        --j;  // one more level is enough for this codebase's idioms
+      }
+      while (j > 0 && toks[j].kind != TokKind::Ident) --j;
+      if (toks[j].kind != TokKind::Ident ||
+          decls.float_vars.count(toks[j].text) == 0) {
+        continue;
+      }
+      const bool attested = dir.ordered_lines.count(line) != 0 ||
+                            dir.ordered_lines.count(in_loop->header_line) != 0;
+      if (attested) continue;
+      emit("R5", line, toks[i].col,
+           "floating-point accumulation into '" + toks[j].text +
+               "' inside a range-for: FP addition is order-sensitive; "
+               "attest the iteration order with `// rlftnoc-lint: ordered` "
+               "on the loop or restructure the reduction");
+    }
+  }
+
+  // Apply inline allow() suppressions (R0 directive errors are never
+  // suppressible).
+  for (Finding& f : findings) {
+    if (f.rule == "R0") continue;
+    const auto it = dir.allows.find(f.line);
+    if (it != dir.allows.end() && it->second.count(f.rule) != 0) {
+      f.suppressed = true;
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), finding_order);
+  return findings;
+}
+
+}  // namespace rlftnoc::lint

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Advisory cppcheck sweep over first-party sources. Complements rlftnoc_lint
+# (project-specific determinism rules) with generic C++ defect patterns.
+#
+# Usage:
+#   tools/run_cppcheck.sh [--base <git-ref>] [-- extra cppcheck args]
+#
+# The suppression list is pinned at tools/lint/cppcheck_suppressions.txt so
+# CI noise is a reviewed, committed artifact rather than per-run flags.
+#
+# Exit status: cppcheck's own (0 clean, 1 findings); 0 with a notice when
+# cppcheck is not installed — this sweep is advisory, so an environment
+# without the tool must not fail the caller.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+base=""
+extra=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --base)
+      [ $# -ge 2 ] || { echo "run_cppcheck.sh: --base needs a ref" >&2; exit 2; }
+      base="$2"; shift 2 ;;
+    --)
+      shift; extra=("$@"); break ;;
+    *)
+      echo "run_cppcheck.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v cppcheck >/dev/null 2>&1; then
+  echo "run_cppcheck.sh: cppcheck not installed; skipping (advisory)" >&2
+  exit 0
+fi
+
+args=(--ext cpp src apps)
+[ -n "$base" ] && args=(--ext cpp --base "$base" src apps)
+mapfile -t sources < <("$repo_root/tools/changed_files.sh" "${args[@]}")
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_cppcheck.sh: nothing to check" >&2
+  exit 0
+fi
+
+cd "$repo_root"
+exec cppcheck \
+  --std=c++20 --language=c++ \
+  --enable=warning,performance,portability \
+  --inline-suppr \
+  --suppressions-list=tools/lint/cppcheck_suppressions.txt \
+  -I src \
+  --error-exitcode=1 \
+  "${extra[@]}" \
+  "${sources[@]}"

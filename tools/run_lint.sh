@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# rlftnoc_lint driver: builds (if needed) and runs the project's determinism
+# & hot-path discipline checker against the committed baseline.
+#
+# Usage:
+#   tools/run_lint.sh [build-dir] [--base <git-ref>] [-- extra lint args]
+#
+#   build-dir     a configured CMake build tree (default: ./build)
+#   --base REF    lint only files changed since REF (via changed_files.sh);
+#                 default lints the whole tree
+#
+# Examples:
+#   tools/run_lint.sh                          # full tree, tight baseline
+#   tools/run_lint.sh build --base origin/main # changed files only
+#   tools/run_lint.sh build -- --json out.json # plus machine-readable report
+#
+# Exit status mirrors rlftnoc_lint: 0 clean, 1 findings or stale baseline,
+# 2 environment problem.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+base=""
+extra=()
+
+if [ $# -gt 0 ] && [ "${1#--}" = "$1" ]; then
+  build_dir="$1"; shift
+fi
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --base)
+      [ $# -ge 2 ] || { echo "run_lint.sh: --base needs a ref" >&2; exit 2; }
+      base="$2"; shift 2 ;;
+    --)
+      shift; extra=("$@"); break ;;
+    *)
+      echo "run_lint.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+lint_bin="$build_dir/tools/lint/rlftnoc_lint"
+if [ ! -x "$lint_bin" ]; then
+  if [ -f "$build_dir/CMakeCache.txt" ]; then
+    echo "run_lint.sh: building rlftnoc_lint in $build_dir" >&2
+    cmake --build "$build_dir" --target rlftnoc_lint >/dev/null
+  else
+    echo "run_lint.sh: $build_dir is not a configured build tree — run: cmake -B $build_dir -S $repo_root" >&2
+    exit 2
+  fi
+fi
+[ -x "$lint_bin" ] || { echo "run_lint.sh: $lint_bin missing after build" >&2; exit 2; }
+
+files=()
+if [ -n "$base" ]; then
+  # Changed-files mode shares the enumerator with run_tidy.sh. Headers are
+  # included: rules fire in headers too, and a changed .h can introduce
+  # findings in its sibling .cpp (re-linted via the pairing pass when listed).
+  mapfile -t files < <("$repo_root/tools/changed_files.sh" --ext all \
+                       --base "$base" src apps bench)
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "run_lint.sh: no first-party files changed since $base" >&2
+    exit 0
+  fi
+fi
+
+exec "$lint_bin" \
+  --repo-root "$repo_root" \
+  --baseline "$repo_root/tools/lint/baseline.txt" \
+  --require-tight-baseline \
+  "${extra[@]}" \
+  ${files[@]+"${files[@]}"}

@@ -58,10 +58,11 @@ jobs="${TIDY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 # First-party translation units only: the library core, the CLIs and the
 # examples. Tests and benches follow gtest/benchmark idioms that trip
 # several checks (e.g. bugprone-unchecked-optional-access on ASSERT paths)
-# without guarding any shipping code.
+# without guarding any shipping code. The file list comes from the shared
+# enumerator so tidy, lint and cppcheck agree on what "first-party" means.
 mapfile -t sources < <(
-  find "$repo_root/src" "$repo_root/apps" "$repo_root/examples" \
-       -name '*.cpp' | LC_ALL=C sort)
+  "$repo_root/tools/changed_files.sh" --ext cpp src apps examples |
+  while IFS= read -r f; do printf '%s\n' "$repo_root/$f"; done)
 
 if [ "${#sources[@]}" -eq 0 ]; then
   echo "run_tidy.sh: no sources found" >&2
